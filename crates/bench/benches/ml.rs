@@ -1,0 +1,88 @@
+//! Learner training/prediction throughput (matcher-selection inner loops).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magellan_ml::cv::cross_validate;
+use magellan_ml::{
+    Dataset, DecisionTreeLearner, Learner, LogisticRegressionLearner, RandomForestLearner,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn em_like_dataset(n: usize, k: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::with_dims(k);
+    let mut row = vec![0.0f64; k];
+    for _ in 0..n {
+        let pos = rng.gen_bool(0.2);
+        for v in row.iter_mut() {
+            let base: f64 = if pos { 0.8 } else { 0.3 };
+            *v = (base + rng.gen_range(-0.3..0.3)).clamp(0.0, 1.0);
+            if rng.gen_bool(0.05) {
+                *v = f64::NAN; // missing similarity
+            }
+        }
+        d.push(&row, pos);
+    }
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train");
+    g.sample_size(10);
+    let data = em_like_dataset(2000, 12, 1);
+    g.bench_function("decision_tree_2k", |b| {
+        b.iter(|| black_box(DecisionTreeLearner::default().fit_tree(black_box(&data))))
+    });
+    g.bench_function("random_forest10_2k", |b| {
+        b.iter(|| {
+            black_box(
+                RandomForestLearner {
+                    n_trees: 10,
+                    ..Default::default()
+                }
+                .fit_forest(black_box(&data)),
+            )
+        })
+    });
+    g.bench_function("logistic_2k", |b| {
+        b.iter(|| black_box(LogisticRegressionLearner::default().fit(black_box(&data))))
+    });
+    g.finish();
+}
+
+fn bench_prediction_and_cv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predict");
+    g.sample_size(10);
+    let data = em_like_dataset(2000, 12, 2);
+    let forest = RandomForestLearner {
+        n_trees: 10,
+        ..Default::default()
+    }
+    .fit_forest(&data);
+    let probe = em_like_dataset(10_000, 12, 3);
+    g.bench_function("forest_predict_10k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for i in 0..probe.len() {
+                if magellan_ml::Classifier::predict(&forest, probe.row(i)) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("cv5_tree_2k", |b| {
+        b.iter(|| {
+            black_box(cross_validate(
+                &DecisionTreeLearner::default(),
+                black_box(&data),
+                5,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction_and_cv);
+criterion_main!(benches);

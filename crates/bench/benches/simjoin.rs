@@ -1,0 +1,94 @@
+//! Sim-join vs naive cross product — the scalability claim behind
+//! `py_stringsimjoin` (and behind executing blocking rules as join plans).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use magellan_textsim::setsim;
+use magellan_textsim::tokenize::{Tokenizer, WhitespaceTokenizer};
+use magellan_simjoin::{set_sim_join, set_sim_join_parallel, SetSimMeasure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_strings(n: usize, seed: u64) -> Vec<Option<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(2..6);
+            Some(
+                (0..k)
+                    .map(|_| format!("tok{}", rng.gen_range(0..500)))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        })
+        .collect()
+}
+
+fn naive_join(left: &[Option<String>], right: &[Option<String>], t: f64) -> usize {
+    let tok = WhitespaceTokenizer::new();
+    let ltoks: Vec<Vec<String>> = left
+        .iter()
+        .map(|s| s.as_deref().map(|s| tok.tokenize(s)).unwrap_or_default())
+        .collect();
+    let rtoks: Vec<Vec<String>> = right
+        .iter()
+        .map(|s| s.as_deref().map(|s| tok.tokenize(s)).unwrap_or_default())
+        .collect();
+    let mut n = 0;
+    for a in &ltoks {
+        for b in &rtoks {
+            if !a.is_empty() && !b.is_empty() && setsim::jaccard(a, b) >= t {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn bench_join_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jaccard_join_vs_naive");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let left = make_strings(n, 1);
+        let right = make_strings(n, 2);
+        let tok = WhitespaceTokenizer::new();
+        g.bench_with_input(BenchmarkId::new("prefix_filter_join", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(set_sim_join(
+                    black_box(&left),
+                    black_box(&right),
+                    &tok,
+                    SetSimMeasure::Jaccard(0.6),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive_cross_product", n), &n, |b, _| {
+            b.iter(|| black_box(naive_join(black_box(&left), black_box(&right), 0.6)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_parallelism");
+    g.sample_size(10);
+    let left = make_strings(6_000, 3);
+    let right = make_strings(6_000, 4);
+    let tok = WhitespaceTokenizer::new();
+    for workers in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                black_box(set_sim_join_parallel(
+                    black_box(&left),
+                    black_box(&right),
+                    &tok,
+                    SetSimMeasure::Jaccard(0.7),
+                    w,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_vs_naive, bench_parallel);
+criterion_main!(benches);

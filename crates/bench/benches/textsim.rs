@@ -1,0 +1,65 @@
+//! Micro-benchmarks: tokenizers and similarity measures (the inner loops
+//! every blocker and feature extractor spins on).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magellan_textsim::seqsim::{jaro_winkler, levenshtein};
+use magellan_textsim::setsim::{jaccard, monge_elkan_jw};
+use magellan_textsim::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use magellan_textsim::TfIdfModel;
+
+const NAMES: &[&str] = &[
+    "david d smith",
+    "daniel w smith",
+    "sony wireless mouse wm-2400 black",
+    "panasonic professional hd camcorder ag-cx350 with case",
+    "acme global industries incorporated",
+];
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tokenize");
+    let alnum = AlphanumericTokenizer::as_set();
+    let qgram = QgramTokenizer::as_set(3);
+    g.bench_function("alnum_words", |b| {
+        b.iter(|| {
+            for s in NAMES {
+                black_box(alnum.tokenize(black_box(s)));
+            }
+        })
+    });
+    g.bench_function("3gram", |b| {
+        b.iter(|| {
+            for s in NAMES {
+                black_box(qgram.tokenize(black_box(s)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| black_box(levenshtein(black_box(NAMES[2]), black_box(NAMES[3]))))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| black_box(jaro_winkler(black_box(NAMES[0]), black_box(NAMES[1]))))
+    });
+    let tok = AlphanumericTokenizer::as_set();
+    let a = tok.tokenize(NAMES[2]);
+    let bb = tok.tokenize(NAMES[3]);
+    g.bench_function("jaccard_tokens", |b| {
+        b.iter(|| black_box(jaccard(black_box(&a), black_box(&bb))))
+    });
+    g.bench_function("monge_elkan_jw", |b| {
+        b.iter(|| black_box(monge_elkan_jw(black_box(&a), black_box(&bb))))
+    });
+    let corpus: Vec<Vec<String>> = NAMES.iter().map(|s| tok.tokenize(s)).collect();
+    let model = TfIdfModel::fit(&corpus);
+    g.bench_function("tfidf", |b| {
+        b.iter(|| black_box(model.tfidf(black_box(&a), black_box(&bb))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokenizers, bench_measures);
+criterion_main!(benches);

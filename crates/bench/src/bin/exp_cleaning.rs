@@ -1,0 +1,100 @@
+//! §5.3 ablation — "data cleaning is critical for EM": detect, isolate,
+//! clean.
+//!
+//! The paper's Vendors story: a slice of Brazilian vendors carried generic
+//! placeholder addresses, accuracy collapsed, and "once we removed such
+//! vendors from the data, the accuracy significantly improved". Table 2
+//! shows that as the separate "Vendors (no Brazil)" row.
+//!
+//! Here the removal is done *by the cleaning tools*, not by regenerating
+//! data: run CloudMatcher on the dirty vendors task, then use
+//! `detect_generic_values` + `isolate_rows` to split off the undecidable
+//! slice, rerun on the clean part, and report both rows.
+
+use magellan_bench::score;
+use magellan_core::clean::{detect_generic_values, isolate_rows};
+use magellan_core::labeling::OracleLabeler;
+use magellan_datagen::domains::vendors;
+use magellan_datagen::{DirtModel, ScenarioConfig};
+use magellan_falcon::{run_falcon, FalconConfig};
+
+fn main() {
+    let s = vendors(
+        &ScenarioConfig {
+            size_a: 1200,
+            size_b: 1200,
+            n_matches: 400,
+            dirt: DirtModel::moderate(),
+            seed: 321,
+        },
+        0.25, // the Brazilian-vendor fraction
+    );
+    let cfg = FalconConfig::default();
+
+    // --- Run 1: the dirty task, as submitted. ---
+    let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
+    let dirty_report = run_falcon(&s.table_a, &s.table_b, "id", "id", &mut labeler, &cfg)
+        .expect("falcon on dirty vendors");
+    let m_dirty = score(&dirty_report.matches, &s.table_a, &s.table_b, &s.gold);
+    println!("Vendors (dirty):      {m_dirty}");
+
+    // --- The cleaning toolchain. ---
+    let generic = detect_generic_values(&s.table_a, "address", 10, 0.01)
+        .expect("generic-value detection");
+    println!("\ndetected generic placeholder addresses:");
+    for g in &generic {
+        println!("  `{}` on {} rows ({:.1}% of table A)", g.value, g.count, 100.0 * g.fraction);
+    }
+    let (a_clean, a_dirty) =
+        isolate_rows(&s.table_a, "address", &generic).expect("isolate A");
+    let generic_b = detect_generic_values(&s.table_b, "address", 10, 0.01).unwrap();
+    let (b_clean, b_dirty) = isolate_rows(&s.table_b, "address", &generic_b).unwrap();
+    println!(
+        "isolated: A {} clean / {} dirty; B {} clean / {} dirty",
+        a_clean.nrows(),
+        a_dirty.nrows(),
+        b_clean.nrows(),
+        b_dirty.nrows()
+    );
+
+    // Gold restricted to the clean sides.
+    let a_ids: std::collections::HashSet<String> = a_clean
+        .rows()
+        .map(|r| a_clean.value_by_name(r, "id").unwrap().display_string())
+        .collect();
+    let b_ids: std::collections::HashSet<String> = b_clean
+        .rows()
+        .map(|r| b_clean.value_by_name(r, "id").unwrap().display_string())
+        .collect();
+    let gold_clean: std::collections::HashSet<(String, String)> = s
+        .gold
+        .iter()
+        .filter(|(x, y)| a_ids.contains(x) && b_ids.contains(y))
+        .cloned()
+        .collect();
+
+    // --- Run 2: the cleaned task. ---
+    let mut labeler = OracleLabeler::new(gold_clean.clone(), "id", "id");
+    let clean_report = run_falcon(&a_clean, &b_clean, "id", "id", &mut labeler, &cfg)
+        .expect("falcon on cleaned vendors");
+    let m_clean = magellan_core::evaluate::evaluate_matches(
+        &clean_report.matches,
+        &a_clean,
+        &b_clean,
+        "id",
+        "id",
+        &gold_clean,
+    )
+    .expect("score");
+    println!("\nVendors (cleaned):    {m_clean}");
+    println!(
+        "\npaper shape: dirty F1 collapses; isolating the generic-address slice\n\
+         recovers accuracy (Table 2's `Vendors` -> `Vendors (no Brazil)` rows)."
+    );
+    println!(
+        "F1: {:.1}% -> {:.1}%  ({} rows routed back to the domain experts)",
+        100.0 * m_dirty.f1(),
+        100.0 * m_clean.f1(),
+        a_dirty.nrows() + b_dirty.nrows()
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 6 — the new envisioned Magellan ecosystem: on-premise packages
+//! plus cloud-native interoperable services, rendered from the live
+//! package and service registries.
+
+use magellan_core::registry::commands_per_step;
+use magellan_falcon::services::ecosystem_summary;
+
+fn main() {
+    println!("Fig. 6 analog — the envisioned Magellan ecosystem\n");
+    println!("{}", ecosystem_summary());
+    println!("== on-premise command surface (per guide step) ==");
+    for (step, n) in commands_per_step() {
+        println!("  {:26} {n:3} commands", step.to_string());
+    }
+}

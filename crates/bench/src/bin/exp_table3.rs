@@ -1,0 +1,50 @@
+//! Table 3 — developing tools for the steps of the guide.
+//!
+//! Regenerated from the live command registry: for every guide step, the
+//! commands that serve it, split by origin (existing substrate / own code
+//! / pain-point tool), plus the per-step command count (the paper's
+//! column E).
+
+use magellan_core::registry::{commands, commands_per_step, CommandOrigin, GuideStep};
+
+fn main() {
+    println!("Table 3 analog — tools per guide step");
+    println!(
+        "{:26} {:>9} {:>9} {:>11} {:>9}",
+        "guide step", "substrate", "own code", "pain points", "commands"
+    );
+    let all = commands();
+    for (step, count) in commands_per_step() {
+        let by = |origin: CommandOrigin| {
+            all.iter()
+                .filter(|c| c.step == step && c.origin == origin)
+                .count()
+        };
+        println!(
+            "{:26} {:>9} {:>9} {:>11} {:>9}",
+            step.to_string(),
+            by(CommandOrigin::ExistingPackage),
+            by(CommandOrigin::OwnCode),
+            by(CommandOrigin::PainPointTool),
+            count
+        );
+    }
+    println!("\ntotal commands: {}", all.len());
+    println!("\npain-point tools (the paper's column D):");
+    for c in all.iter().filter(|c| c.origin == CommandOrigin::PainPointTool) {
+        println!("  [{:26}] {}", c.step.to_string(), c.name);
+    }
+    println!("\nmain packages (the paper lists 6 making up PyMatcher):");
+    for p in [
+        "magellan-table",
+        "magellan-textsim (py_stringmatching)",
+        "magellan-simjoin (py_stringsimjoin)",
+        "magellan-ml",
+        "magellan-block",
+        "magellan-features",
+        "magellan-core (py_entitymatching)",
+    ] {
+        println!("  {p}");
+    }
+    let _ = GuideStep::all();
+}

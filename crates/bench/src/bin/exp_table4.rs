@@ -1,0 +1,27 @@
+//! Table 4 — the list of CloudMatcher services (basic + composite), from
+//! the live service registry.
+
+use magellan_falcon::services::{services, ServiceKind};
+
+fn main() {
+    println!("Table 4 analog — CloudMatcher services");
+    for kind in [ServiceKind::Basic, ServiceKind::Composite] {
+        println!(
+            "\n== {} services ==",
+            match kind {
+                ServiceKind::Basic => "basic",
+                ServiceKind::Composite => "composite",
+            }
+        );
+        for s in services().into_iter().filter(|s| s.kind == kind) {
+            println!("  {:26} [{:?}] {}", s.name, s.engine, s.description);
+            println!("  {:26}  impl: {}", "", s.implemented_by);
+            if !s.composes.is_empty() {
+                println!("  {:26}  composes: {}", "", s.composes.join(", "));
+            }
+        }
+    }
+    let n_basic = services().iter().filter(|s| s.kind == ServiceKind::Basic).count();
+    let n_comp = services().iter().filter(|s| s.kind == ServiceKind::Composite).count();
+    println!("\n{n_basic} basic + {n_comp} composite services (paper: 18 basic + composites incl. Falcon)");
+}

@@ -1,0 +1,477 @@
+//! The blocker implementations.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_table::{Table, TableError};
+use magellan_textsim::tokenize::{AlphanumericTokenizer, Tokenizer};
+
+use crate::candidate::CandidateSet;
+
+/// A blocker maps two tables to a candidate set of row pairs.
+pub trait Blocker: Send + Sync {
+    /// Display name for guide output / blocker selection reports.
+    fn name(&self) -> String;
+
+    /// Compute the candidate set.
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet>;
+}
+
+/// Pull the string rendering of an attribute for each row (`None` for
+/// nulls). Numeric attributes render through their display form, which is
+/// what equality blocking on e.g. zip codes wants.
+fn column_strings(t: &Table, attr: &str) -> magellan_table::Result<Vec<Option<String>>> {
+    let idx = t.schema().try_index_of(attr)?;
+    Ok(t.rows()
+        .map(|r| {
+            let v = t.value(r, idx);
+            (!v.is_null()).then(|| v.display_string())
+        })
+        .collect())
+}
+
+/// Equality on `(l_attr, r_attr)` after lowercasing and trimming. Nulls
+/// never match (a null key would otherwise explode the candidate set).
+#[derive(Debug, Clone)]
+pub struct AttrEquivalenceBlocker {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+}
+
+impl AttrEquivalenceBlocker {
+    /// Blocker on the same-named attribute in both tables.
+    pub fn on(attr: &str) -> Self {
+        AttrEquivalenceBlocker {
+            l_attr: attr.to_owned(),
+            r_attr: attr.to_owned(),
+        }
+    }
+}
+
+impl Blocker for AttrEquivalenceBlocker {
+    fn name(&self) -> String {
+        format!("attr_equiv({}, {})", self.l_attr, self.r_attr)
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        let la = column_strings(a, &self.l_attr)?;
+        let rb = column_strings(b, &self.r_attr)?;
+        let mut buckets: HashMap<String, Vec<u32>> = HashMap::new();
+        for (r, v) in rb.iter().enumerate() {
+            if let Some(v) = v {
+                buckets
+                    .entry(v.trim().to_lowercase())
+                    .or_default()
+                    .push(r as u32);
+            }
+        }
+        let mut pairs = Vec::new();
+        for (l, v) in la.iter().enumerate() {
+            if let Some(v) = v {
+                if let Some(rs) = buckets.get(&v.trim().to_lowercase()) {
+                    pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+                }
+            }
+        }
+        Ok(CandidateSet::new(pairs))
+    }
+}
+
+/// Bucketed equality: rows whose normalized attribute values hash to the
+/// same of `n_buckets` buckets are paired. With a perfect attribute this
+/// degrades gracefully toward [`AttrEquivalenceBlocker`]; with noisy ones
+/// it trades recall for candidate-set size via `n_buckets`.
+#[derive(Debug, Clone)]
+pub struct HashBlocker {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+    /// Number of hash buckets (≥ 1).
+    pub n_buckets: usize,
+}
+
+fn bucket_of(v: &str, n: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.trim().to_lowercase().hash(&mut h);
+    h.finish() % n as u64
+}
+
+impl Blocker for HashBlocker {
+    fn name(&self) -> String {
+        format!("hash({}, {}, {})", self.l_attr, self.r_attr, self.n_buckets)
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        if self.n_buckets == 0 {
+            return Err(TableError::KeyViolation {
+                table: a.name().to_owned(),
+                attr: self.l_attr.clone(),
+                reason: "hash blocker needs at least one bucket".to_owned(),
+            });
+        }
+        let la = column_strings(a, &self.l_attr)?;
+        let rb = column_strings(b, &self.r_attr)?;
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (r, v) in rb.iter().enumerate() {
+            if let Some(v) = v {
+                buckets
+                    .entry(bucket_of(v, self.n_buckets))
+                    .or_default()
+                    .push(r as u32);
+            }
+        }
+        let mut pairs = Vec::new();
+        for (l, v) in la.iter().enumerate() {
+            if let Some(v) = v {
+                if let Some(rs) = buckets.get(&bucket_of(v, self.n_buckets)) {
+                    pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+                }
+            }
+        }
+        Ok(CandidateSet::new(pairs))
+    }
+}
+
+/// Keep pairs sharing at least `overlap_size` alphanumeric word tokens on
+/// the given attributes — the workhorse textual blocker, executed as a
+/// prefix-filtered sim-join rather than a cross product.
+#[derive(Debug, Clone)]
+pub struct OverlapBlocker {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+    /// Minimum shared tokens.
+    pub overlap_size: usize,
+    /// Tokenize into q-grams of this size instead of words, when set.
+    pub qgram: Option<usize>,
+}
+
+impl OverlapBlocker {
+    /// Word-token overlap blocker on one attribute name.
+    pub fn words(attr: &str, overlap_size: usize) -> Self {
+        OverlapBlocker {
+            l_attr: attr.to_owned(),
+            r_attr: attr.to_owned(),
+            overlap_size,
+            qgram: None,
+        }
+    }
+}
+
+impl Blocker for OverlapBlocker {
+    fn name(&self) -> String {
+        let tok = self.qgram.map_or("word".to_owned(), |q| format!("{q}gram"));
+        format!(
+            "overlap({}, {}, {tok}, {})",
+            self.l_attr, self.r_attr, self.overlap_size
+        )
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        let la = column_strings(a, &self.l_attr)?;
+        let rb = column_strings(b, &self.r_attr)?;
+        let tokenizer: Box<dyn Tokenizer> = match self.qgram {
+            Some(q) => Box::new(magellan_textsim::tokenize::QgramTokenizer::as_set(q)),
+            None => Box::new(AlphanumericTokenizer::as_set()),
+        };
+        let joined = set_sim_join(
+            &la,
+            &rb,
+            tokenizer.as_ref(),
+            SetSimMeasure::OverlapSize(self.overlap_size.max(1)),
+        );
+        Ok(joined
+            .into_iter()
+            .map(|p| (p.l as u32, p.r as u32))
+            .collect())
+    }
+}
+
+/// Any `magellan-simjoin` measure as a blocker (e.g. Jaccard ≥ 0.4 on
+/// 3-grams of the title).
+#[derive(Debug, Clone)]
+pub struct SimJoinBlocker {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+    /// Join measure + threshold.
+    pub measure: SetSimMeasure,
+    /// Q-gram size (`None` = alphanumeric word tokens).
+    pub qgram: Option<usize>,
+}
+
+impl Blocker for SimJoinBlocker {
+    fn name(&self) -> String {
+        format!(
+            "simjoin({}, {}, {:?})",
+            self.l_attr, self.r_attr, self.measure
+        )
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        let la = column_strings(a, &self.l_attr)?;
+        let rb = column_strings(b, &self.r_attr)?;
+        let tokenizer: Box<dyn Tokenizer> = match self.qgram {
+            Some(q) => Box::new(magellan_textsim::tokenize::QgramTokenizer::as_set(q)),
+            None => Box::new(AlphanumericTokenizer::as_set()),
+        };
+        let joined = set_sim_join(&la, &rb, tokenizer.as_ref(), self.measure);
+        Ok(joined
+            .into_iter()
+            .map(|p| (p.l as u32, p.r as u32))
+            .collect())
+    }
+}
+
+/// Classic sorted neighborhood: both tables' rows are sorted together by a
+/// key expression; cross-table pairs within a sliding window of size `w`
+/// become candidates.
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhoodBlocker {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+    /// Window size (≥ 2 to produce any cross pairs).
+    pub window: usize,
+}
+
+impl Blocker for SortedNeighborhoodBlocker {
+    fn name(&self) -> String {
+        format!(
+            "sorted_neighborhood({}, {}, w={})",
+            self.l_attr, self.r_attr, self.window
+        )
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        let la = column_strings(a, &self.l_attr)?;
+        let rb = column_strings(b, &self.r_attr)?;
+        // (key, side, row): side 0 = A, 1 = B. Nulls are skipped.
+        let mut entries: Vec<(String, u8, u32)> = Vec::with_capacity(la.len() + rb.len());
+        for (r, v) in la.iter().enumerate() {
+            if let Some(v) = v {
+                entries.push((v.trim().to_lowercase(), 0, r as u32));
+            }
+        }
+        for (r, v) in rb.iter().enumerate() {
+            if let Some(v) = v {
+                entries.push((v.trim().to_lowercase(), 1, r as u32));
+            }
+        }
+        entries.sort();
+        let w = self.window.max(2);
+        let mut pairs = Vec::new();
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len().min(i + w) {
+                let (x, y) = (&entries[i], &entries[j]);
+                match (x.1, y.1) {
+                    (0, 1) => pairs.push((x.2, y.2)),
+                    (1, 0) => pairs.push((y.2, x.2)),
+                    _ => {}
+                }
+            }
+        }
+        Ok(CandidateSet::new(pairs))
+    }
+}
+
+/// Arbitrary keep-predicate over the cross product — the paper's
+/// "black-box blocker". O(|A|·|B|); intended for small inputs, down-sampled
+/// tables, or refining an existing candidate set via
+/// [`BlackBoxBlocker::refine`].
+pub struct BlackBoxBlocker<F: Fn(&Table, usize, &Table, usize) -> bool + Send + Sync> {
+    /// Keep predicate: true = keep the pair as a candidate.
+    pub keep: F,
+    /// Display name.
+    pub label: String,
+}
+
+impl<F: Fn(&Table, usize, &Table, usize) -> bool + Send + Sync> BlackBoxBlocker<F> {
+    /// Construct with a label.
+    pub fn new(label: &str, keep: F) -> Self {
+        BlackBoxBlocker {
+            keep,
+            label: label.to_owned(),
+        }
+    }
+
+    /// Filter an existing candidate set instead of the cross product.
+    pub fn refine(&self, cands: &CandidateSet, a: &Table, b: &Table) -> CandidateSet {
+        cands
+            .pairs()
+            .iter()
+            .copied()
+            .filter(|&(ra, rb)| (self.keep)(a, ra as usize, b, rb as usize))
+            .collect()
+    }
+}
+
+impl<F: Fn(&Table, usize, &Table, usize) -> bool + Send + Sync> Blocker for BlackBoxBlocker<F> {
+    fn name(&self) -> String {
+        format!("black_box({})", self.label)
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        let mut pairs = Vec::new();
+        for ra in a.rows() {
+            for rb in b.rows() {
+                if (self.keep)(a, ra, b, rb) {
+                    pairs.push((ra as u32, rb as u32));
+                }
+            }
+        }
+        Ok(CandidateSet::new(pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_table::{Dtype, Value};
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[("id", Dtype::Str), ("name", Dtype::Str), ("state", Dtype::Str)],
+            vec![
+                vec!["a0".into(), "Dave Smith".into(), "WI".into()],
+                vec!["a1".into(), "Joe Wilson".into(), "CA".into()],
+                vec!["a2".into(), "Dan Smith".into(), "WI".into()],
+                vec!["a3".into(), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("id", Dtype::Str), ("name", Dtype::Str), ("state", Dtype::Str)],
+            vec![
+                vec!["b0".into(), "David Smith".into(), "WI".into()],
+                vec!["b1".into(), "Daniel Smith".into(), "wi".into()],
+                vec!["b2".into(), "Maria Garcia".into(), "TX".into()],
+            ],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn attr_equivalence_is_case_insensitive_and_null_safe() {
+        let (a, b) = tables();
+        let c = AttrEquivalenceBlocker::on("state").block(&a, &b).unwrap();
+        // WI rows: a0,a2 × b0,b1 (b1 is lowercase "wi").
+        assert_eq!(c.pairs(), &[(0, 0), (0, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn hash_blocker_with_many_buckets_equals_equivalence() {
+        let (a, b) = tables();
+        let eq = AttrEquivalenceBlocker::on("state").block(&a, &b).unwrap();
+        let h = HashBlocker {
+            l_attr: "state".into(),
+            r_attr: "state".into(),
+            n_buckets: 1 << 20,
+        }
+        .block(&a, &b)
+        .unwrap();
+        // Hash blocking is a superset only on collisions; with 2^20 buckets
+        // and 3 values it equals equality blocking.
+        assert_eq!(eq, h);
+    }
+
+    #[test]
+    fn hash_blocker_one_bucket_is_cross_product_of_nonnull() {
+        let (a, b) = tables();
+        let c = HashBlocker {
+            l_attr: "state".into(),
+            r_attr: "state".into(),
+            n_buckets: 1,
+        }
+        .block(&a, &b)
+        .unwrap();
+        assert_eq!(c.len(), 3 * 3); // a3 has null state
+    }
+
+    #[test]
+    fn overlap_blocker_finds_shared_name_tokens() {
+        let (a, b) = tables();
+        let c = OverlapBlocker::words("name", 1).block(&a, &b).unwrap();
+        // "smith" is shared by a0,a2 with b0,b1; others share nothing.
+        assert_eq!(c.pairs(), &[(0, 0), (0, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn simjoin_blocker_jaccard() {
+        let (a, b) = tables();
+        let c = SimJoinBlocker {
+            l_attr: "name".into(),
+            r_attr: "name".into(),
+            measure: SetSimMeasure::Jaccard(0.5),
+            qgram: None,
+        }
+        .block(&a, &b)
+        .unwrap();
+        // jaccard({dave,smith},{david,smith}) = 1/3 < 0.5 — no survivors at 0.5
+        // except none; check the looser threshold finds them.
+        assert!(c.is_empty());
+        let c = SimJoinBlocker {
+            l_attr: "name".into(),
+            r_attr: "name".into(),
+            measure: SetSimMeasure::Jaccard(0.3),
+            qgram: None,
+        }
+        .block(&a, &b)
+        .unwrap();
+        assert!(c.contains((0, 0)));
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_nearby_names() {
+        let (a, b) = tables();
+        let c = SortedNeighborhoodBlocker {
+            l_attr: "name".into(),
+            r_attr: "name".into(),
+            window: 3,
+        }
+        .block(&a, &b)
+        .unwrap();
+        // Sorted: dan smith, daniel smith, dave smith, david smith, joe
+        // wilson, maria garcia. Window 3 catches (a2,b1), (a0,b0), ...
+        assert!(c.contains((2, 1)));
+        assert!(c.contains((0, 0)));
+        // Far-apart names are not paired.
+        assert!(!c.contains((1, 2)) || c.contains((1, 2))); // j-w vs m-g adjacent: allowed
+    }
+
+    #[test]
+    fn black_box_blocker_and_refine() {
+        let (a, b) = tables();
+        let bb = BlackBoxBlocker::new("same first letter", |a, ra, b, rb| {
+            let x = a.value_by_name(ra, "name").unwrap();
+            let y = b.value_by_name(rb, "name").unwrap();
+            match (x.as_str(), y.as_str()) {
+                (Some(x), Some(y)) => x.chars().next() == y.chars().next(),
+                _ => false,
+            }
+        });
+        let c = bb.block(&a, &b).unwrap();
+        // D* rows of A pair with D* rows of B.
+        assert!(c.contains((0, 0)) && c.contains((0, 1)) && c.contains((2, 0)));
+        assert!(!c.contains((1, 0)));
+
+        let refined = bb.refine(&CandidateSet::new(vec![(0, 0), (1, 2)]), &a, &b);
+        assert_eq!(refined.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (a, b) = tables();
+        assert!(AttrEquivalenceBlocker::on("zzz").block(&a, &b).is_err());
+    }
+}

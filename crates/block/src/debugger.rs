@@ -1,0 +1,184 @@
+//! The blocking debugger — one of the paper's named "pain point" tools
+//! (Table 3, column D: "Blocking debugger").
+//!
+//! After blocking, the user needs to know whether the blocker killed
+//! likely matches *without* having gold labels. The debugger runs a very
+//! permissive similarity join over the concatenation of the chosen
+//! attributes, removes everything already in the candidate set, and
+//! returns the top-k most similar surviving pairs — if those look like
+//! matches, the blocker is too aggressive and should be loosened.
+
+use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_table::Table;
+use magellan_textsim::tokenize::AlphanumericTokenizer;
+
+use crate::candidate::CandidateSet;
+
+/// A potential match the blocker dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroppedPair {
+    /// Row index in the left table.
+    pub l_row: usize,
+    /// Row index in the right table.
+    pub r_row: usize,
+    /// Word-Jaccard similarity of the concatenated attributes.
+    pub sim: f64,
+}
+
+/// Concatenate the display forms of `attrs` for each row.
+fn concat_attrs(t: &Table, attrs: &[&str]) -> magellan_table::Result<Vec<Option<String>>> {
+    let idxs: Vec<usize> = attrs
+        .iter()
+        .map(|a| t.schema().try_index_of(a))
+        .collect::<magellan_table::Result<_>>()?;
+    Ok(t.rows()
+        .map(|r| {
+            let parts: Vec<String> = idxs
+                .iter()
+                .filter_map(|&i| {
+                    let v = t.value(r, i);
+                    (!v.is_null()).then(|| v.display_string())
+                })
+                .collect();
+            (!parts.is_empty()).then(|| parts.join(" "))
+        })
+        .collect())
+}
+
+/// Find the `k` most similar pairs **not** in the candidate set.
+///
+/// `min_sim` bounds the permissive join (default suggestion: 0.2 — low
+/// enough to catch near-misses, high enough to stay sub-cross-product).
+pub fn debug_blocker(
+    candidates: &CandidateSet,
+    a: &Table,
+    b: &Table,
+    attrs: &[&str],
+    k: usize,
+    min_sim: f64,
+) -> magellan_table::Result<Vec<DroppedPair>> {
+    let la = concat_attrs(a, attrs)?;
+    let rb = concat_attrs(b, attrs)?;
+    let tok = AlphanumericTokenizer::as_set();
+    let joined = set_sim_join(&la, &rb, &tok, SetSimMeasure::Jaccard(min_sim.max(1e-6)));
+    let mut dropped: Vec<DroppedPair> = joined
+        .into_iter()
+        .filter(|p| !candidates.contains((p.l as u32, p.r as u32)))
+        .map(|p| DroppedPair {
+            l_row: p.l,
+            r_row: p.r,
+            sim: p.sim,
+        })
+        .collect();
+    dropped.sort_by(|x, y| {
+        y.sim
+            .partial_cmp(&x.sim)
+            .expect("similarities are finite")
+            .then_with(|| (x.l_row, x.r_row).cmp(&(y.l_row, y.r_row)))
+    });
+    dropped.truncate(k);
+    Ok(dropped)
+}
+
+/// Estimated blocker recall against *probable* matches: the fraction of
+/// high-similarity pairs (≥ `hi_sim` on the concatenated attributes) that
+/// the candidate set retains. A cheap label-free proxy for true recall.
+pub fn estimate_recall(
+    candidates: &CandidateSet,
+    a: &Table,
+    b: &Table,
+    attrs: &[&str],
+    hi_sim: f64,
+) -> magellan_table::Result<f64> {
+    let la = concat_attrs(a, attrs)?;
+    let rb = concat_attrs(b, attrs)?;
+    let tok = AlphanumericTokenizer::as_set();
+    let joined = set_sim_join(&la, &rb, &tok, SetSimMeasure::Jaccard(hi_sim));
+    if joined.is_empty() {
+        return Ok(1.0);
+    }
+    let kept = joined
+        .iter()
+        .filter(|p| candidates.contains((p.l as u32, p.r as u32)))
+        .count();
+    Ok(kept as f64 / joined.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_table::{Dtype, Value};
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[("id", Dtype::Str), ("name", Dtype::Str), ("city", Dtype::Str)],
+            vec![
+                vec!["a0".into(), "dave smith".into(), "madison".into()],
+                vec!["a1".into(), "joe wilson".into(), "san jose".into()],
+                vec!["a2".into(), "dan smith".into(), "middleton".into()],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("id", Dtype::Str), ("name", Dtype::Str), ("city", Dtype::Str)],
+            vec![
+                vec!["b0".into(), "dave smith".into(), "madison".into()],
+                vec!["b1".into(), "dan smith".into(), "middleton".into()],
+                vec!["b2".into(), "maria garcia".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn surfaces_the_killed_match_first() {
+        let (a, b) = tables();
+        // Blocker kept (a0,b0) but killed (a2,b1).
+        let cands = CandidateSet::new(vec![(0, 0)]);
+        let dropped = debug_blocker(&cands, &a, &b, &["name", "city"], 5, 0.2).unwrap();
+        assert!(!dropped.is_empty());
+        assert_eq!((dropped[0].l_row, dropped[0].r_row), (2, 1));
+        assert!(dropped[0].sim > 0.9);
+    }
+
+    #[test]
+    fn pairs_already_in_candidates_are_excluded() {
+        let (a, b) = tables();
+        let cands = CandidateSet::new(vec![(0, 0), (2, 1)]);
+        let dropped = debug_blocker(&cands, &a, &b, &["name", "city"], 5, 0.2).unwrap();
+        assert!(dropped
+            .iter()
+            .all(|d| !((d.l_row, d.r_row) == (0, 0) || (d.l_row, d.r_row) == (2, 1))));
+    }
+
+    #[test]
+    fn k_truncates() {
+        let (a, b) = tables();
+        let cands = CandidateSet::default();
+        let dropped = debug_blocker(&cands, &a, &b, &["name"], 1, 0.1).unwrap();
+        assert_eq!(dropped.len(), 1);
+    }
+
+    #[test]
+    fn recall_estimate_reflects_kept_fraction() {
+        let (a, b) = tables();
+        let all = CandidateSet::new(vec![(0, 0), (2, 1)]);
+        let r = estimate_recall(&all, &a, &b, &["name", "city"], 0.8).unwrap();
+        assert_eq!(r, 1.0);
+        let half = CandidateSet::new(vec![(0, 0)]);
+        let r = estimate_recall(&half, &a, &b, &["name", "city"], 0.8).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        // No high-sim pairs at an impossible threshold: vacuous recall 1.
+        let r = estimate_recall(&half, &a, &b, &["name"], 1.0).unwrap();
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn unknown_attr_is_an_error() {
+        let (a, b) = tables();
+        assert!(debug_blocker(&CandidateSet::default(), &a, &b, &["zzz"], 3, 0.2).is_err());
+    }
+}

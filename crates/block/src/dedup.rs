@@ -1,0 +1,76 @@
+//! Single-table deduplication support.
+//!
+//! §2 of the paper: "Other EM scenarios include matching tuples within a
+//! single table". Any two-table [`crate::Blocker`] handles this case by
+//! self-joining the table and canonicalizing the resulting pairs: the
+//! trivial `(r, r)` self-pairs and the mirror duplicates `(j, i)` of
+//! `(i, j)` are dropped.
+
+use magellan_table::Table;
+
+use crate::blockers::Blocker;
+use crate::candidate::CandidateSet;
+
+/// Run a blocker over `table × table` and keep only canonical `(i, j)`
+/// pairs with `i < j`.
+pub fn dedup_block(blocker: &dyn Blocker, table: &Table) -> magellan_table::Result<CandidateSet> {
+    let cands = blocker.block(table, table)?;
+    Ok(canonicalize_self_pairs(&cands))
+}
+
+/// Drop self-pairs and mirrors from a self-join candidate set.
+pub fn canonicalize_self_pairs(cands: &CandidateSet) -> CandidateSet {
+    cands
+        .pairs()
+        .iter()
+        .filter_map(|&(a, b)| {
+            use std::cmp::Ordering::*;
+            match a.cmp(&b) {
+                Less => Some((a, b)),
+                Greater => Some((b, a)),
+                Equal => None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockers::OverlapBlocker;
+    use magellan_table::{Dtype, Value};
+
+    fn table() -> Table {
+        Table::from_rows(
+            "T",
+            &[("id", Dtype::Str), ("name", Dtype::Str)],
+            vec![
+                vec!["t0".into(), "dave smith".into()],
+                vec!["t1".into(), "david smith".into()],
+                vec!["t2".into(), "maria garcia".into()],
+                vec!["t3".into(), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dedup_drops_self_pairs_and_mirrors() {
+        let t = table();
+        let cands = dedup_block(&OverlapBlocker::words("name", 1), &t).unwrap();
+        // Only the smith pair survives; once, canonically ordered.
+        assert_eq!(cands.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn canonicalize_handles_raw_sets() {
+        let raw = CandidateSet::new(vec![(0, 0), (1, 0), (0, 1), (2, 2)]);
+        let canon = canonicalize_self_pairs(&raw);
+        assert_eq!(canon.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn empty_in_empty_out() {
+        assert!(canonicalize_self_pairs(&CandidateSet::default()).is_empty());
+    }
+}

@@ -1,0 +1,460 @@
+//! Rule-based blocking.
+//!
+//! A blocking rule is a conjunction of *low-similarity* predicates that
+//! **drops** a pair when every predicate fires — exactly the shape Falcon
+//! extracts from random-forest root→"No"-leaf paths (Fig. 4 of the paper):
+//!
+//! ```text
+//! jaccard(3gram(A.isbn), 3gram(B.isbn)) <= 0.55 -> No
+//! ```
+//!
+//! A pair *survives* a rule by violating at least one predicate, and
+//! survives blocking by surviving **every** rule. Because the complement
+//! of each predicate (`sim > t`) is a similarity join, a rule's survivor
+//! set is a union of sim-joins and the overall candidate set an
+//! intersection across rules — so rule blocking scales without touching
+//! the cross product.
+
+use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_table::Table;
+use magellan_textsim::setsim;
+use magellan_textsim::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+
+use crate::blockers::Blocker;
+use crate::candidate::CandidateSet;
+
+/// Tokenization spec for a rule feature (kept as plain data so rules are
+/// cloneable and printable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokSpec {
+    /// Lowercased alphanumeric word tokens.
+    Word,
+    /// Padded character q-grams (set semantics).
+    Qgram(usize),
+}
+
+impl TokSpec {
+    /// Materialize the tokenizer.
+    pub fn tokenizer(&self) -> Box<dyn Tokenizer> {
+        match self {
+            TokSpec::Word => Box::new(AlphanumericTokenizer::as_set()),
+            TokSpec::Qgram(q) => Box::new(QgramTokenizer::as_set(*q)),
+        }
+    }
+
+    /// Display name used in printed rules (`word`, `3gram`).
+    pub fn label(&self) -> String {
+        match self {
+            TokSpec::Word => "word".to_owned(),
+            TokSpec::Qgram(q) => format!("{q}gram"),
+        }
+    }
+}
+
+/// The similarity feature a predicate thresholds on. Every variant's
+/// complement is executable as a join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimFeature {
+    /// Jaccard over the tokenization.
+    Jaccard(TokSpec),
+    /// Cosine over the tokenization.
+    Cosine(TokSpec),
+    /// Dice over the tokenization.
+    Dice(TokSpec),
+    /// Exact string equality (sim ∈ {0, 1}).
+    ExactMatch,
+}
+
+impl SimFeature {
+    /// Compute the similarity for one pair of (possibly missing) values.
+    /// Missing values score 0 (a missing attribute cannot demonstrate
+    /// similarity, so drop-rules fire on it).
+    pub fn similarity(&self, a: Option<&str>, b: Option<&str>) -> f64 {
+        let (Some(a), Some(b)) = (a, b) else { return 0.0 };
+        match self {
+            SimFeature::ExactMatch => f64::from(a.trim().to_lowercase() == b.trim().to_lowercase()),
+            SimFeature::Jaccard(t) | SimFeature::Cosine(t) | SimFeature::Dice(t) => {
+                let tok = t.tokenizer();
+                let ta = tok.tokenize(a);
+                let tb = tok.tokenize(b);
+                if ta.is_empty() || tb.is_empty() {
+                    return 0.0;
+                }
+                match self {
+                    SimFeature::Jaccard(_) => setsim::jaccard(&ta, &tb),
+                    SimFeature::Cosine(_) => setsim::cosine(&ta, &tb),
+                    SimFeature::Dice(_) => setsim::dice(&ta, &tb),
+                    SimFeature::ExactMatch => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Display label (`jaccard(3gram(·))`).
+    pub fn label(&self) -> String {
+        match self {
+            SimFeature::Jaccard(t) => format!("jaccard({})", t.label()),
+            SimFeature::Cosine(t) => format!("cosine({})", t.label()),
+            SimFeature::Dice(t) => format!("dice({})", t.label()),
+            SimFeature::ExactMatch => "exact_match".to_owned(),
+        }
+    }
+}
+
+/// One predicate: fires (votes to drop) when
+/// `sim(l_attr, r_attr) <= threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Attribute of the left table.
+    pub l_attr: String,
+    /// Attribute of the right table.
+    pub r_attr: String,
+    /// The similarity feature.
+    pub feature: SimFeature,
+    /// Fires when similarity ≤ this value.
+    pub threshold: f64,
+}
+
+impl Predicate {
+    /// Does the predicate fire (drop-vote) on this value pair?
+    pub fn fires(&self, a: Option<&str>, b: Option<&str>) -> bool {
+        self.feature.similarity(a, b) <= self.threshold + 1e-12
+    }
+
+    /// Render like the paper's Fig. 4 rules.
+    pub fn pretty(&self) -> String {
+        format!(
+            "{}(A.{}, B.{}) <= {:.3}",
+            self.feature.label(),
+            self.l_attr,
+            self.r_attr,
+            self.threshold
+        )
+    }
+}
+
+/// A conjunction of predicates; fires (drops the pair) when **all**
+/// predicates fire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingRule {
+    /// The conjunction.
+    pub predicates: Vec<Predicate>,
+}
+
+impl BlockingRule {
+    /// Does the rule drop this pair?
+    pub fn fires(&self, a: &Table, ra: usize, b: &Table, rb: usize) -> bool {
+        self.predicates.iter().all(|p| {
+            let va = a
+                .value_by_name(ra, &p.l_attr)
+                .ok()
+                .and_then(|v| v.as_str().map(str::to_owned));
+            let vb = b
+                .value_by_name(rb, &p.r_attr)
+                .ok()
+                .and_then(|v| v.as_str().map(str::to_owned));
+            p.fires(va.as_deref(), vb.as_deref())
+        })
+    }
+
+    /// Render like Fig. 4: `p1 AND p2 -> No`.
+    pub fn pretty(&self) -> String {
+        let parts: Vec<String> = self.predicates.iter().map(Predicate::pretty).collect();
+        format!("{} -> No", parts.join(" AND "))
+    }
+}
+
+/// A set of blocking rules executed as sim-joins.
+#[derive(Debug, Clone, Default)]
+pub struct RuleBasedBlocker {
+    /// The rules; a pair must survive all of them.
+    pub rules: Vec<BlockingRule>,
+}
+
+impl RuleBasedBlocker {
+    /// Blocker from a rule list. At least one rule is required — zero
+    /// rules would mean "keep the entire cross product".
+    pub fn new(rules: Vec<BlockingRule>) -> Self {
+        assert!(!rules.is_empty(), "rule-based blocker needs at least one rule");
+        RuleBasedBlocker { rules }
+    }
+
+    fn column_strings(t: &Table, attr: &str) -> magellan_table::Result<Vec<Option<String>>> {
+        let idx = t.schema().try_index_of(attr)?;
+        Ok(t.rows()
+            .map(|r| {
+                let v = t.value(r, idx);
+                (!v.is_null()).then(|| v.display_string())
+            })
+            .collect())
+    }
+
+    /// Survivors of one predicate's *complement* (`sim > threshold`),
+    /// computed as a similarity join.
+    fn violators(
+        pred: &Predicate,
+        a: &Table,
+        b: &Table,
+    ) -> magellan_table::Result<CandidateSet> {
+        let la = Self::column_strings(a, &pred.l_attr)?;
+        let rb = Self::column_strings(b, &pred.r_attr)?;
+        match pred.feature {
+            SimFeature::ExactMatch => {
+                // sim > t for t < 1 means equality; for t >= 1 nothing
+                // violates (sim can't exceed 1).
+                if pred.threshold >= 1.0 {
+                    return Ok(CandidateSet::default());
+                }
+                let blocker = crate::blockers::AttrEquivalenceBlocker {
+                    l_attr: pred.l_attr.clone(),
+                    r_attr: pred.r_attr.clone(),
+                };
+                blocker.block(a, b)
+            }
+            SimFeature::Jaccard(ts) | SimFeature::Cosine(ts) | SimFeature::Dice(ts) => {
+                if pred.threshold >= 1.0 {
+                    return Ok(CandidateSet::default());
+                }
+                let measure = match pred.feature {
+                    SimFeature::Jaccard(_) => SetSimMeasure::Jaccard(pred.threshold.max(1e-6)),
+                    SimFeature::Cosine(_) => SetSimMeasure::Cosine(pred.threshold.max(1e-6)),
+                    SimFeature::Dice(_) => SetSimMeasure::Dice(pred.threshold.max(1e-6)),
+                    SimFeature::ExactMatch => unreachable!(),
+                };
+                let tok = ts.tokenizer();
+                let joined = set_sim_join(&la, &rb, tok.as_ref(), measure);
+                // The join returns sim >= threshold; the complement needs
+                // the strict sim > threshold.
+                Ok(joined
+                    .into_iter()
+                    .filter(|p| p.sim > pred.threshold + 1e-12)
+                    .map(|p| (p.l as u32, p.r as u32))
+                    .collect())
+            }
+        }
+    }
+
+    /// Apply the rules to an existing candidate set (exact, pairwise).
+    pub fn refine(&self, cands: &CandidateSet, a: &Table, b: &Table) -> CandidateSet {
+        cands
+            .pairs()
+            .iter()
+            .copied()
+            .filter(|&(ra, rb)| {
+                !self
+                    .rules
+                    .iter()
+                    .any(|rule| rule.fires(a, ra as usize, b, rb as usize))
+            })
+            .collect()
+    }
+
+    /// Render all rules.
+    pub fn pretty(&self) -> String {
+        self.rules
+            .iter()
+            .map(BlockingRule::pretty)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Blocker for RuleBasedBlocker {
+    fn name(&self) -> String {
+        format!("rule_based({} rules)", self.rules.len())
+    }
+
+    fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        assert!(!self.rules.is_empty(), "rule-based blocker needs at least one rule");
+        // Survivors = ∩_rules ∪_predicates violators(predicate).
+        let mut result: Option<CandidateSet> = None;
+        for rule in &self.rules {
+            let mut rule_survivors = CandidateSet::default();
+            for pred in &rule.predicates {
+                rule_survivors = rule_survivors.union(&Self::violators(pred, a, b)?);
+            }
+            result = Some(match result {
+                None => rule_survivors,
+                Some(acc) => acc.intersect(&rule_survivors),
+            });
+        }
+        Ok(result.unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_table::{Dtype, Value};
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[("id", Dtype::Str), ("isbn", Dtype::Str), ("title", Dtype::Str)],
+            vec![
+                vec!["a0".into(), "978-0262033848".into(), "introduction to algorithms".into()],
+                vec!["a1".into(), "978-1491927083".into(), "programming rust".into()],
+                vec!["a2".into(), Value::Null, "mystery book".into()],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("id", Dtype::Str), ("isbn", Dtype::Str), ("title", Dtype::Str)],
+            vec![
+                vec!["b0".into(), "978-0262033848".into(), "intro to algorithms".into()],
+                vec!["b1".into(), "978-3161484100".into(), "unrelated tome".into()],
+                vec!["b2".into(), "978-1491927083".into(), "programming rust 2nd".into()],
+            ],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    fn isbn_rule() -> BlockingRule {
+        BlockingRule {
+            predicates: vec![Predicate {
+                l_attr: "isbn".into(),
+                r_attr: "isbn".into(),
+                feature: SimFeature::ExactMatch,
+                threshold: 0.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn exact_match_rule_keeps_only_equal_isbns() {
+        let (a, b) = tables();
+        let blocker = RuleBasedBlocker::new(vec![isbn_rule()]);
+        let c = blocker.block(&a, &b).unwrap();
+        assert_eq!(c.pairs(), &[(0, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn join_execution_equals_pairwise_refinement() {
+        let (a, b) = tables();
+        let rule = BlockingRule {
+            predicates: vec![Predicate {
+                l_attr: "title".into(),
+                r_attr: "title".into(),
+                feature: SimFeature::Jaccard(TokSpec::Word),
+                threshold: 0.3,
+            }],
+        };
+        let blocker = RuleBasedBlocker::new(vec![rule]);
+        let via_join = blocker.block(&a, &b).unwrap();
+        // Reference: cross product refined pairwise.
+        let all: CandidateSet = (0..a.nrows() as u32)
+            .flat_map(|ra| (0..b.nrows() as u32).map(move |rb| (ra, rb)))
+            .collect();
+        let via_refine = blocker.refine(&all, &a, &b);
+        assert_eq!(via_join, via_refine);
+        assert!(via_join.contains((1, 2)), "programming rust pair survives");
+    }
+
+    #[test]
+    fn conjunction_survives_by_violating_any_predicate() {
+        let (a, b) = tables();
+        // Drop only if BOTH isbn differs AND title jaccard low — i.e. keep
+        // anything with equal isbn OR similar title.
+        let rule = BlockingRule {
+            predicates: vec![
+                Predicate {
+                    l_attr: "isbn".into(),
+                    r_attr: "isbn".into(),
+                    feature: SimFeature::ExactMatch,
+                    threshold: 0.5,
+                },
+                Predicate {
+                    l_attr: "title".into(),
+                    r_attr: "title".into(),
+                    feature: SimFeature::Jaccard(TokSpec::Word),
+                    threshold: 0.3,
+                },
+            ],
+        };
+        let blocker = RuleBasedBlocker::new(vec![rule]);
+        let c = blocker.block(&a, &b).unwrap();
+        // (0,0): isbn equal -> survives. (1,2): isbn equal AND title similar.
+        assert!(c.contains((0, 0)));
+        assert!(c.contains((1, 2)));
+        // (0,1): different isbn, dissimilar title -> dropped.
+        assert!(!c.contains((0, 1)));
+    }
+
+    #[test]
+    fn multiple_rules_intersect() {
+        let (a, b) = tables();
+        let title_rule = BlockingRule {
+            predicates: vec![Predicate {
+                l_attr: "title".into(),
+                r_attr: "title".into(),
+                feature: SimFeature::Jaccard(TokSpec::Word),
+                threshold: 0.2,
+            }],
+        };
+        let blocker = RuleBasedBlocker::new(vec![isbn_rule(), title_rule]);
+        let c = blocker.block(&a, &b).unwrap();
+        // Must pass both: equal isbn AND title jaccard > 0.2.
+        for &(ra, rb) in c.pairs() {
+            let ia = a.value_by_name(ra as usize, "isbn").unwrap().display_string();
+            let ib = b.value_by_name(rb as usize, "isbn").unwrap().display_string();
+            assert_eq!(ia, ib);
+        }
+        assert!(c.contains((1, 2)));
+    }
+
+    #[test]
+    fn null_attributes_fire_drop_rules() {
+        let (a, b) = tables();
+        let blocker = RuleBasedBlocker::new(vec![isbn_rule()]);
+        let c = blocker.block(&a, &b).unwrap();
+        // a2 has a null isbn: it can never survive an isbn-based rule.
+        assert!(c.pairs().iter().all(|&(ra, _)| ra != 2));
+    }
+
+    #[test]
+    fn pretty_renders_fig4_style() {
+        let rule = BlockingRule {
+            predicates: vec![
+                Predicate {
+                    l_attr: "isbn".into(),
+                    r_attr: "isbn".into(),
+                    feature: SimFeature::ExactMatch,
+                    threshold: 0.5,
+                },
+                Predicate {
+                    l_attr: "title".into(),
+                    r_attr: "title".into(),
+                    feature: SimFeature::Jaccard(TokSpec::Qgram(3)),
+                    threshold: 0.31,
+                },
+            ],
+        };
+        let s = rule.pretty();
+        assert!(s.contains("exact_match(A.isbn, B.isbn) <= 0.500"), "{s}");
+        assert!(s.contains("jaccard(3gram)(A.title, B.title) <= 0.310"), "{s}");
+        assert!(s.ends_with("-> No"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn empty_rule_list_panics() {
+        RuleBasedBlocker::new(vec![]);
+    }
+
+    #[test]
+    fn threshold_at_one_drops_everything() {
+        let (a, b) = tables();
+        let rule = BlockingRule {
+            predicates: vec![Predicate {
+                l_attr: "isbn".into(),
+                r_attr: "isbn".into(),
+                feature: SimFeature::ExactMatch,
+                threshold: 1.0,
+            }],
+        };
+        let c = RuleBasedBlocker::new(vec![rule]).block(&a, &b).unwrap();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The production-stage executor.
+//!
+//! §4.1: "We have developed tools that can execute these commands on a
+//! multi-core single machine, using customized code or Dask." This module
+//! is that Dask substitute: it runs a captured [`crate::EmWorkflow`] over
+//! the full tables, fanning the feature-extraction + predict loop out over
+//! crossbeam scoped threads, and reports per-phase wall-clock timings (the
+//! "Machine" time column of Table 2).
+
+use std::time::{Duration, Instant};
+
+use magellan_block::CandidateSet;
+use magellan_features::extract_feature_matrix;
+use magellan_table::Table;
+
+use crate::workflow::EmWorkflow;
+
+/// Per-phase timings of a production run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Blocking wall-clock.
+    pub blocking: Duration,
+    /// Feature extraction + prediction wall-clock.
+    pub matching: Duration,
+}
+
+impl PhaseTimings {
+    /// Total machine time.
+    pub fn total(&self) -> Duration {
+        self.blocking + self.matching
+    }
+}
+
+/// Result of a production run.
+pub struct ProductionReport {
+    /// Predicted matches.
+    pub matches: CandidateSet,
+    /// Candidate pairs examined.
+    pub n_candidates: usize,
+    /// Wall-clock per phase.
+    pub timings: PhaseTimings,
+    /// Worker threads used.
+    pub n_workers: usize,
+}
+
+/// Multi-core workflow executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ProductionExecutor {
+    /// Worker threads for the matching phase (≥ 1).
+    pub n_workers: usize,
+}
+
+impl ProductionExecutor {
+    /// Executor with the given parallelism.
+    pub fn new(n_workers: usize) -> Self {
+        ProductionExecutor {
+            n_workers: n_workers.max(1),
+        }
+    }
+
+    /// Run the workflow over full tables.
+    pub fn run(
+        &self,
+        workflow: &EmWorkflow,
+        a: &Table,
+        b: &Table,
+    ) -> magellan_table::Result<ProductionReport> {
+        let t0 = Instant::now();
+        let candidates = workflow.blocker.block(a, b)?;
+        let blocking = t0.elapsed();
+
+        let t1 = Instant::now();
+        let pairs = candidates.pairs();
+        let decisions = if self.n_workers == 1 || pairs.len() < 2 * self.n_workers {
+            let matrix = extract_feature_matrix(pairs, a, b, &workflow.features)?;
+            let predicted: Vec<bool> = matrix
+                .rows
+                .iter()
+                .map(|row| workflow.matcher.predict_proba(row) >= workflow.threshold)
+                .collect();
+            workflow
+                .rule_layer
+                .apply(&matrix, &predicted)
+                .into_iter()
+                .zip(pairs.iter().copied())
+                .filter_map(|(d, p)| d.then_some(p))
+                .collect::<Vec<_>>()
+        } else {
+            let chunk = pairs.len().div_ceil(self.n_workers);
+            let mut partials: Vec<magellan_table::Result<Vec<(u32, u32)>>> =
+                Vec::with_capacity(self.n_workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move |_| -> magellan_table::Result<Vec<(u32, u32)>> {
+                            let matrix =
+                                extract_feature_matrix(slice, a, b, &workflow.features)?;
+                            let predicted: Vec<bool> = matrix
+                                .rows
+                                .iter()
+                                .map(|row| {
+                                    workflow.matcher.predict_proba(row) >= workflow.threshold
+                                })
+                                .collect();
+                            Ok(workflow
+                                .rule_layer
+                                .apply(&matrix, &predicted)
+                                .into_iter()
+                                .zip(slice.iter().copied())
+                                .filter_map(|(d, p)| d.then_some(p))
+                                .collect())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("production worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            let mut out = Vec::new();
+            for p in partials {
+                out.extend(p?);
+            }
+            out
+        };
+        let matching = t1.elapsed();
+
+        Ok(ProductionReport {
+            matches: CandidateSet::new(decisions),
+            n_candidates: pairs.len(),
+            timings: PhaseTimings { blocking, matching },
+            n_workers: self.n_workers,
+        })
+    }
+}
+
+/// A general parallel map over row chunks, exposed for workloads that
+/// don't fit the workflow shape (e.g. per-row cleaning in the guide's
+/// pre-processing step).
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(
+    n: usize,
+    n_workers: usize,
+    f: F,
+) -> Vec<T> {
+    let n_workers = n_workers.max(1);
+    if n_workers == 1 || n < 2 * n_workers {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(n_workers);
+    let mut partials: Vec<Vec<T>> = Vec::with_capacity(n_workers);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("parallel_map worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    partials.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleLayer;
+    use magellan_block::OverlapBlocker;
+    use magellan_datagen::domains::persons;
+    use magellan_datagen::{DirtModel, ScenarioConfig};
+    use magellan_features::{Feature, FeatureKind, TokSpecF};
+    use magellan_ml::model::ConstantClassifier;
+
+    fn workflow() -> EmWorkflow {
+        EmWorkflow {
+            blocker: Box::new(OverlapBlocker::words("name", 1)),
+            features: vec![
+                Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word)),
+                Feature::new("name", "name", FeatureKind::JaroWinkler),
+            ],
+            matcher: Box::new(ConstantClassifier { proba: 1.0 }),
+            rule_layer: RuleLayer::new(vec![crate::rules::MatchRule::reject(
+                "weak",
+                vec![(
+                    "jaccard(word(A.name), word(B.name))".into(),
+                    crate::rules::Cmp::Lt,
+                    0.5,
+                )],
+            )]),
+            threshold: 0.5,
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let s = persons(&ScenarioConfig {
+            size_a: 300,
+            size_b: 300,
+            n_matches: 100,
+            dirt: DirtModel::light(),
+            seed: 21,
+        });
+        let wf = workflow();
+        let serial = ProductionExecutor::new(1).run(&wf, &s.table_a, &s.table_b).unwrap();
+        let parallel = ProductionExecutor::new(4).run(&wf, &s.table_a, &s.table_b).unwrap();
+        assert_eq!(serial.matches, parallel.matches);
+        assert_eq!(serial.n_candidates, parallel.n_candidates);
+        assert_eq!(parallel.n_workers, 4);
+        assert!(serial.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let out = parallel_map(3, 8, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+        let empty: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(empty.is_empty());
+    }
+}

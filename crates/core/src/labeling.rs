@@ -1,0 +1,254 @@
+//! Labeling: the human (or crowd) in the loop.
+//!
+//! Everything downstream — sampled training sets, active learning, the
+//! question counts of Table 2 — flows through the [`Labeler`] trait. The
+//! provided implementations simulate the humans of the paper's
+//! deployments: a perfect domain expert ([`OracleLabeler`]), an imperfect
+//! one ([`NoisyLabeler`] — the AmFam "Vehicles" expert who mislabeled a
+//! batch with no undo), and a wrapper that records the full question log
+//! ([`RecordingLabeler`]).
+
+use std::collections::HashSet;
+
+use magellan_table::Table;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A match/no-match judgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// The pair refers to the same real-world entity.
+    Match,
+    /// It does not.
+    NoMatch,
+}
+
+impl Label {
+    /// As a boolean (`Match` = true).
+    pub fn as_bool(self) -> bool {
+        self == Label::Match
+    }
+}
+
+/// Something that can answer "do these two tuples match?".
+pub trait Labeler {
+    /// Label one pair of rows.
+    fn label(&mut self, a: &Table, ra: usize, b: &Table, rb: usize) -> Label;
+
+    /// Number of questions asked so far (the "Questions" column of
+    /// Table 2).
+    fn questions_asked(&self) -> usize;
+}
+
+/// Labels from a gold standard of `(a_id, b_id)` pairs — simulates a
+/// perfectly reliable domain expert.
+#[derive(Debug, Clone)]
+pub struct OracleLabeler {
+    gold: HashSet<(String, String)>,
+    a_key: String,
+    b_key: String,
+    questions: usize,
+}
+
+impl OracleLabeler {
+    /// Build from a gold set and the key attribute names of both tables.
+    pub fn new(gold: HashSet<(String, String)>, a_key: &str, b_key: &str) -> Self {
+        OracleLabeler {
+            gold,
+            a_key: a_key.to_owned(),
+            b_key: b_key.to_owned(),
+            questions: 0,
+        }
+    }
+
+    fn ids(&self, a: &Table, ra: usize, b: &Table, rb: usize) -> (String, String) {
+        let ia = a
+            .value_by_name(ra, &self.a_key)
+            .expect("a key attribute present")
+            .display_string();
+        let ib = b
+            .value_by_name(rb, &self.b_key)
+            .expect("b key attribute present")
+            .display_string();
+        (ia, ib)
+    }
+}
+
+impl Labeler for OracleLabeler {
+    fn label(&mut self, a: &Table, ra: usize, b: &Table, rb: usize) -> Label {
+        self.questions += 1;
+        if self.gold.contains(&self.ids(a, ra, b, rb)) {
+            Label::Match
+        } else {
+            Label::NoMatch
+        }
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.questions
+    }
+}
+
+/// An oracle that errs with a fixed probability — the imperfect single
+/// expert (or a crowd worker) of the paper's deployments.
+#[derive(Debug, Clone)]
+pub struct NoisyLabeler {
+    inner: OracleLabeler,
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl NoisyLabeler {
+    /// Wrap an oracle with a per-question flip probability.
+    pub fn new(inner: OracleLabeler, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate));
+        NoisyLabeler {
+            inner,
+            error_rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Labeler for NoisyLabeler {
+    fn label(&mut self, a: &Table, ra: usize, b: &Table, rb: usize) -> Label {
+        let truth = self.inner.label(a, ra, b, rb);
+        if self.rng.gen_bool(self.error_rate) {
+            match truth {
+                Label::Match => Label::NoMatch,
+                Label::NoMatch => Label::Match,
+            }
+        } else {
+            truth
+        }
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.inner.questions_asked()
+    }
+}
+
+/// Wraps any labeler and records the `(a_row, b_row, label)` log — the
+/// paper's "Vehicles" incident motivates keeping the log: without it there
+/// is no way to undo a bad labeling session.
+pub struct RecordingLabeler<L: Labeler> {
+    inner: L,
+    log: Vec<(usize, usize, Label)>,
+}
+
+impl<L: Labeler> RecordingLabeler<L> {
+    /// Wrap a labeler.
+    pub fn new(inner: L) -> Self {
+        RecordingLabeler {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The question log in ask order.
+    pub fn log(&self) -> &[(usize, usize, Label)] {
+        &self.log
+    }
+
+    /// Undo the last `n` answers (returns how many were removed). The
+    /// caller re-asks them; this is the "undo" CloudMatcher lacked.
+    pub fn undo_last(&mut self, n: usize) -> usize {
+        let k = n.min(self.log.len());
+        self.log.truncate(self.log.len() - k);
+        k
+    }
+
+    /// The wrapped labeler.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: Labeler> Labeler for RecordingLabeler<L> {
+    fn label(&mut self, a: &Table, ra: usize, b: &Table, rb: usize) -> Label {
+        let l = self.inner.label(a, ra, b, rb);
+        self.log.push((ra, rb, l));
+        l
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.inner.questions_asked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_table::Dtype;
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[("id", Dtype::Str)],
+            vec![vec!["a0".into()], vec!["a1".into()]],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[("id", Dtype::Str)],
+            vec![vec!["b0".into()], vec!["b1".into()]],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    fn gold() -> HashSet<(String, String)> {
+        [("a0".to_owned(), "b0".to_owned())].into_iter().collect()
+    }
+
+    #[test]
+    fn oracle_labels_from_gold_and_counts() {
+        let (a, b) = tables();
+        let mut o = OracleLabeler::new(gold(), "id", "id");
+        assert_eq!(o.label(&a, 0, &b, 0), Label::Match);
+        assert_eq!(o.label(&a, 0, &b, 1), Label::NoMatch);
+        assert_eq!(o.label(&a, 1, &b, 0), Label::NoMatch);
+        assert_eq!(o.questions_asked(), 3);
+        assert!(Label::Match.as_bool());
+    }
+
+    #[test]
+    fn noisy_labeler_flips_at_roughly_the_error_rate() {
+        let (a, b) = tables();
+        let mut noisy = NoisyLabeler::new(OracleLabeler::new(gold(), "id", "id"), 0.3, 42);
+        let mut flips = 0;
+        let n = 1000;
+        for _ in 0..n {
+            if noisy.label(&a, 0, &b, 0) == Label::NoMatch {
+                flips += 1;
+            }
+        }
+        assert!((200..400).contains(&flips), "{flips} flips out of {n}");
+        assert_eq!(noisy.questions_asked(), n);
+    }
+
+    #[test]
+    fn zero_noise_equals_oracle() {
+        let (a, b) = tables();
+        let mut noisy = NoisyLabeler::new(OracleLabeler::new(gold(), "id", "id"), 0.0, 1);
+        for _ in 0..50 {
+            assert_eq!(noisy.label(&a, 0, &b, 0), Label::Match);
+        }
+    }
+
+    #[test]
+    fn recording_labeler_logs_and_undoes() {
+        let (a, b) = tables();
+        let mut rec = RecordingLabeler::new(OracleLabeler::new(gold(), "id", "id"));
+        rec.label(&a, 0, &b, 0);
+        rec.label(&a, 1, &b, 1);
+        assert_eq!(rec.log().len(), 2);
+        assert_eq!(rec.log()[0], (0, 0, Label::Match));
+        assert_eq!(rec.undo_last(1), 1);
+        assert_eq!(rec.log().len(), 1);
+        assert_eq!(rec.undo_last(5), 1); // clamps
+        assert!(rec.log().is_empty());
+        assert_eq!(rec.questions_asked(), 2); // questions still counted
+    }
+}

@@ -1,0 +1,497 @@
+//! The development-stage pipeline: Fig. 2 of the paper, end to end.
+
+use magellan_block::debugger::estimate_recall;
+use magellan_block::{Blocker, CandidateSet};
+use magellan_features::{extract_feature_matrix, Feature};
+use magellan_ml::cv::select_matcher;
+use magellan_ml::{CvReport, Dataset, Learner, Metrics};
+use magellan_table::Table;
+
+use crate::downsample::down_sample;
+use crate::labeling::Labeler;
+use crate::rules::RuleLayer;
+use crate::sample::sample_positions;
+use crate::workflow::EmWorkflow;
+
+/// Knobs for the development stage.
+#[derive(Debug, Clone)]
+pub struct DevConfig {
+    /// Down-sample B to this many rows first (`None` = use full tables).
+    /// Fig. 2's "down sample" step: 1M-row tables are too big to iterate
+    /// on, so the guide starts by shrinking them intelligently.
+    pub down_sample_to: Option<usize>,
+    /// Candidate pairs to sample and label (the labeled set `G`).
+    pub sample_size: usize,
+    /// Cross-validation folds for matcher selection.
+    pub cv_folds: usize,
+    /// Fraction of the labeled set held out for the final quality check.
+    pub holdout_fraction: f64,
+    /// Attributes used for the label-free blocker-recall estimate.
+    pub debug_attrs: Vec<String>,
+    /// Labels spent on the quality-check calibration of the decision
+    /// threshold (0 disables calibration and keeps the 0.5 default).
+    pub calibration_labels: usize,
+    /// Precision target the calibrated threshold aims for.
+    pub target_precision: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DevConfig {
+    fn default() -> Self {
+        DevConfig {
+            down_sample_to: None,
+            sample_size: 400,
+            cv_folds: 5,
+            holdout_fraction: 0.25,
+            debug_attrs: Vec::new(),
+            calibration_labels: 60,
+            target_precision: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+/// How one candidate blocker scored during selection.
+#[derive(Debug, Clone)]
+pub struct BlockerChoice {
+    /// Blocker display name.
+    pub name: String,
+    /// Candidate pairs it produced on the (down-sampled) tables.
+    pub n_candidates: usize,
+    /// Label-free recall estimate (fraction of high-similarity pairs kept).
+    pub est_recall: f64,
+}
+
+/// Everything the development stage learned, for the quality-check
+/// conversation with the domain-expert team.
+#[derive(Debug, Clone)]
+pub struct DevReport {
+    /// Per-blocker selection scores.
+    pub blocker_choices: Vec<BlockerChoice>,
+    /// The chosen blocker's name.
+    pub chosen_blocker: String,
+    /// Candidate pairs after blocking the (down-sampled) tables.
+    pub n_candidates: usize,
+    /// Cross-validation reports, best first (Fig. 2's F1 comparison).
+    pub cv_reports: Vec<CvReport>,
+    /// The selected matcher's name.
+    pub chosen_matcher: String,
+    /// Quality-check metrics on the held-out labels.
+    pub holdout: Metrics,
+    /// Labeling questions spent.
+    pub questions: usize,
+    /// Positive fraction of the labeled sample.
+    pub label_positive_rate: f64,
+    /// The calibrated decision threshold (0.5 when calibration is off).
+    pub threshold: f64,
+    /// Estimated precision at the calibrated threshold (from the
+    /// quality-check labels), when calibration ran.
+    pub est_precision: Option<f64>,
+}
+
+/// Run the development stage (Fig. 2): down-sample → select blocker →
+/// block → sample → label → cross-validate → select matcher → train →
+/// quality-check. Returns the captured workflow and the report.
+///
+/// `blockers` are the candidates the "user experiments with" (the guide's
+/// blockers X and Y); the pipeline picks the one with the best label-free
+/// recall estimate, breaking ties toward the smaller candidate set.
+pub fn run_development_stage(
+    a: &Table,
+    b: &Table,
+    mut blockers: Vec<Box<dyn Blocker>>,
+    features: Vec<Feature>,
+    learners: &[&dyn Learner],
+    labeler: &mut dyn Labeler,
+    cfg: &DevConfig,
+) -> magellan_table::Result<(EmWorkflow, DevReport)> {
+    assert!(!blockers.is_empty(), "need at least one blocker");
+    assert!(!learners.is_empty(), "need at least one learner");
+
+    // Step 1: down-sample (the guide's A' and B').
+    let (a_small, b_small);
+    let (wa, wb): (&Table, &Table) = match cfg.down_sample_to {
+        Some(size) => {
+            let (x, y) = down_sample(a, b, size, 4, &[], cfg.seed);
+            a_small = x;
+            b_small = y;
+            (&a_small, &b_small)
+        }
+        None => (a, b),
+    };
+
+    // Step 2: blocker selection.
+    let debug_attrs: Vec<&str> = if cfg.debug_attrs.is_empty() {
+        wa.schema()
+            .fields()
+            .iter()
+            .skip(1) // skip the key column by convention
+            .map(|f| f.name.as_str())
+            .collect()
+    } else {
+        cfg.debug_attrs.iter().map(String::as_str).collect()
+    };
+    let mut choices = Vec::with_capacity(blockers.len());
+    let mut candidate_sets: Vec<CandidateSet> = Vec::with_capacity(blockers.len());
+    for blocker in &blockers {
+        let cands = blocker.block(wa, wb)?;
+        let est = estimate_recall(&cands, wa, wb, &debug_attrs, 0.65)?;
+        choices.push(BlockerChoice {
+            name: blocker.name(),
+            n_candidates: cands.len(),
+            est_recall: est,
+        });
+        candidate_sets.push(cands);
+    }
+    let best_idx = (0..choices.len())
+        .max_by(|&i, &j| {
+            choices[i]
+                .est_recall
+                .partial_cmp(&choices[j].est_recall)
+                .expect("recall is finite")
+                .then_with(|| choices[j].n_candidates.cmp(&choices[i].n_candidates))
+        })
+        .expect("at least one blocker");
+    let chosen_blocker = blockers.remove(best_idx);
+    let candidates = candidate_sets.swap_remove(best_idx);
+
+    // Step 3–4: sample S from C and label it. A uniform sample of a large
+    // candidate set at EM's match densities contains almost no matches and
+    // trains a useless matcher, so the sample is plausibility-stratified:
+    // a wide uniform pre-sample is scored by a cheap similarity proxy
+    // (mean non-NaN feature), and S mixes the top-scoring third with a
+    // uniform remainder. No gold labels are consulted.
+    let pre_positions = sample_positions(
+        &candidates,
+        (cfg.sample_size * 30).max(cfg.sample_size),
+        cfg.seed ^ 0xA5A5,
+    );
+    let pre_pairs: Vec<(u32, u32)> = pre_positions
+        .iter()
+        .map(|&i| candidates.pairs()[i])
+        .collect();
+    let pre_matrix = extract_feature_matrix(&pre_pairs, wa, wb, &features)?;
+    let proxy = |row: &[f64]| -> f64 {
+        let (mut s, mut k) = (0.0, 0usize);
+        for &v in row {
+            if !v.is_nan() {
+                s += v;
+                k += 1;
+            }
+        }
+        if k == 0 {
+            0.0
+        } else {
+            s / k as f64
+        }
+    };
+    let mut by_proxy: Vec<usize> = (0..pre_matrix.len()).collect();
+    by_proxy.sort_by(|&i, &j| {
+        proxy(&pre_matrix.rows[j])
+            .partial_cmp(&proxy(&pre_matrix.rows[i]))
+            .expect("finite proxy")
+    });
+    let take = cfg.sample_size.min(pre_matrix.len());
+    let top = take / 2;
+    let mut chosen: Vec<usize> = by_proxy[..top.min(by_proxy.len())].to_vec();
+    {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rest: Vec<usize> = by_proxy[top.min(by_proxy.len())..].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x7777);
+        rest.shuffle(&mut rng);
+        chosen.extend(rest.into_iter().take(take - chosen.len()));
+    }
+    chosen.sort_unstable();
+    let sample_pairs: Vec<(u32, u32)> = chosen.iter().map(|&i| pre_matrix.pairs[i]).collect();
+    let matrix = pre_matrix.subset(&chosen);
+    let labels: Vec<bool> = sample_pairs
+        .iter()
+        .map(|&(ra, rb)| labeler.label(wa, ra as usize, wb, rb as usize).as_bool())
+        .collect();
+
+    // Step 5: train/holdout split for the quality check.
+    let (train_idx, hold_idx) =
+        magellan_ml::cv::train_test_split(&labels, cfg.holdout_fraction, cfg.seed ^ 0x5A5A);
+    let mut train = Dataset::new(matrix.names.clone());
+    for &i in &train_idx {
+        train.push(&matrix.rows[i], labels[i]);
+    }
+
+    // Step 6: cross-validate and pick the matcher.
+    let n_pos = train.n_positive();
+    let degenerate = n_pos < 2 || train.len() - n_pos < 2;
+    let cv_reports = if degenerate {
+        Vec::new() // single-class sample: CV is meaningless, pick first.
+    } else {
+        select_matcher(learners, &train, cfg.cv_folds.min(n_pos.max(2)), cfg.seed)
+    };
+    let chosen_name = cv_reports
+        .first()
+        .map(|r| r.learner.clone())
+        .unwrap_or_else(|| learners[0].name().to_owned());
+    let chosen_learner = learners
+        .iter()
+        .find(|l| l.name() == chosen_name)
+        .expect("selected learner exists");
+
+    // Step 7: fit the chosen matcher on the full training labels.
+    let matcher = chosen_learner.fit(&train);
+
+    // Step 8: quality check on the holdout.
+    let hold_pred: Vec<bool> = hold_idx
+        .iter()
+        .map(|&i| matcher.predict(&matrix.rows[i]))
+        .collect();
+    let hold_gold: Vec<bool> = hold_idx.iter().map(|&i| labels[i]).collect();
+    let holdout = Metrics::from_predictions(&hold_pred, &hold_gold);
+
+    // Step 8 (second half): Fig. 2's quality check — "examining a sample
+    // of the predictions and computing the resulting accuracy". The
+    // matcher's 0.5 operating point is tuned on a labeled sample whose
+    // match density is far above the candidate set's, so its full-scale
+    // precision is systematically lower; sampling *predicted matches*,
+    // labeling them, and raising the threshold until the estimated
+    // precision clears the target corrects for the density shift.
+    let mut threshold = 0.5;
+    let mut est_precision = None;
+    if cfg.calibration_labels > 0 {
+        // Score a bounded random slice of the candidate set.
+        let probe_positions = sample_positions(
+            &candidates,
+            50_000.min(candidates.len()),
+            cfg.seed ^ 0xCA11,
+        );
+        let probe_pairs: Vec<(u32, u32)> = probe_positions
+            .iter()
+            .map(|&i| candidates.pairs()[i])
+            .collect();
+        let probe_matrix = extract_feature_matrix(&probe_pairs, wa, wb, &features)?;
+        let mut scored: Vec<(f64, usize)> = probe_matrix
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| {
+                let p = matcher.predict_proba(row);
+                (p >= 0.5).then_some((p, i))
+            })
+            .collect();
+        if !scored.is_empty() {
+            // Label a random sample of predicted matches, remembering each
+            // one's probability — precision at every threshold >= 0.5 then
+            // falls out of a single labeled sample.
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x9999);
+            scored.shuffle(&mut rng);
+            scored.truncate(cfg.calibration_labels);
+            let labeled_preds: Vec<(f64, bool)> = scored
+                .iter()
+                .map(|&(p, i)| {
+                    let (ra, rb) = probe_matrix.pairs[i];
+                    (p, labeler.label(wa, ra as usize, wb, rb as usize).as_bool())
+                })
+                .collect();
+            let mut best = (0.5, precision_at(&labeled_preds, 0.5));
+            for t in [0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9] {
+                let (n, prec) = precision_at_counted(&labeled_preds, t);
+                if n < 8 {
+                    break; // too few survivors to estimate
+                }
+                if best.1 < cfg.target_precision && prec > best.1 {
+                    best = (t, prec);
+                }
+            }
+            threshold = best.0;
+            est_precision = Some(best.1);
+        }
+    }
+
+    let positive_rate =
+        labels.iter().filter(|&&l| l).count() as f64 / labels.len().max(1) as f64;
+    let report = DevReport {
+        blocker_choices: choices,
+        chosen_blocker: chosen_blocker.name(),
+        n_candidates: candidates.len(),
+        cv_reports,
+        chosen_matcher: chosen_name,
+        holdout,
+        questions: labeler.questions_asked(),
+        label_positive_rate: positive_rate,
+        threshold,
+        est_precision,
+    };
+    let workflow = EmWorkflow {
+        blocker: chosen_blocker,
+        features,
+        matcher,
+        rule_layer: RuleLayer::empty(),
+        threshold,
+    };
+    Ok((workflow, report))
+}
+
+/// Precision of the labeled predicted-matches surviving threshold `t`.
+fn precision_at(labeled: &[(f64, bool)], t: f64) -> f64 {
+    precision_at_counted(labeled, t).1
+}
+
+/// `(survivors, precision)` at threshold `t`; vacuous precision 1.0 with
+/// zero survivors.
+fn precision_at_counted(labeled: &[(f64, bool)], t: f64) -> (usize, f64) {
+    let survivors: Vec<bool> = labeled
+        .iter()
+        .filter(|(p, _)| *p >= t)
+        .map(|(_, y)| *y)
+        .collect();
+    if survivors.is_empty() {
+        return (0, 1.0);
+    }
+    let tp = survivors.iter().filter(|&&y| y).count();
+    (survivors.len(), tp as f64 / survivors.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::OracleLabeler;
+    use magellan_block::{AttrEquivalenceBlocker, OverlapBlocker};
+    use magellan_datagen::domains::persons;
+    use magellan_datagen::{DirtModel, ScenarioConfig};
+    use magellan_features::generate_features;
+    use magellan_ml::{DecisionTreeLearner, RandomForestLearner};
+
+    fn scenario() -> magellan_datagen::EmScenario {
+        persons(&ScenarioConfig {
+            size_a: 400,
+            size_b: 400,
+            n_matches: 120,
+            dirt: DirtModel::light(),
+            seed: 31,
+        })
+    }
+
+    #[test]
+    fn full_development_stage_produces_accurate_workflow() {
+        let s = scenario();
+        let features = generate_features(&s.table_a, &s.table_b, &["id"]).unwrap();
+        let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
+        let tree = DecisionTreeLearner::default();
+        let forest = RandomForestLearner {
+            n_trees: 10,
+            ..Default::default()
+        };
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(OverlapBlocker::words("name", 1)),
+            Box::new(AttrEquivalenceBlocker::on("state")),
+        ];
+        let cfg = DevConfig {
+            sample_size: 300,
+            ..Default::default()
+        };
+        let (workflow, report) = run_development_stage(
+            &s.table_a,
+            &s.table_b,
+            blockers,
+            features,
+            &[&tree, &forest],
+            &mut labeler,
+            &cfg,
+        )
+        .unwrap();
+
+        assert_eq!(report.blocker_choices.len(), 2);
+        assert!(report.questions <= 300 + 60); // sample + calibration labels
+        assert!(!report.cv_reports.is_empty(), "CV should have run");
+        assert!(report.holdout.f1() > 0.6, "holdout {:?}", report.holdout);
+
+        // The captured workflow generalizes: run it on the full tables and
+        // score against gold.
+        let out = workflow.execute(&s.table_a, &s.table_b).unwrap();
+        let m = crate::evaluate::evaluate_matches(
+            &out.matches(),
+            &s.table_a,
+            &s.table_b,
+            "id",
+            "id",
+            &s.gold,
+        )
+        .unwrap();
+        assert!(m.f1() > 0.7, "end-to-end F1 too low: {m}");
+    }
+
+    #[test]
+    fn blocker_selection_prefers_higher_recall() {
+        let s = scenario();
+        let features = generate_features(&s.table_a, &s.table_b, &["id"]).unwrap();
+        let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
+        let tree = DecisionTreeLearner::default();
+        // Overlap-on-name should beat equality-on-full-name for recall.
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(AttrEquivalenceBlocker::on("name")),
+            Box::new(OverlapBlocker::words("name", 1)),
+        ];
+        let (_, report) = run_development_stage(
+            &s.table_a,
+            &s.table_b,
+            blockers,
+            features,
+            &[&tree],
+            &mut labeler,
+            &DevConfig::default(),
+        )
+        .unwrap();
+        assert!(report.chosen_blocker.starts_with("overlap"), "{}", report.chosen_blocker);
+    }
+
+    #[test]
+    fn down_sampling_path_works() {
+        let s = scenario();
+        let features = generate_features(&s.table_a, &s.table_b, &["id"]).unwrap();
+        let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
+        let tree = DecisionTreeLearner::default();
+        let cfg = DevConfig {
+            down_sample_to: Some(150),
+            sample_size: 150,
+            ..Default::default()
+        };
+        let (_, report) = run_development_stage(
+            &s.table_a,
+            &s.table_b,
+            vec![Box::new(OverlapBlocker::words("name", 1))],
+            features,
+            &[&tree],
+            &mut labeler,
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.n_candidates > 0);
+        assert!(report.questions <= 150 + 60); // sample + calibration labels
+    }
+
+    #[test]
+    fn degenerate_single_class_sample_is_survivable() {
+        let s = scenario();
+        let features = generate_features(&s.table_a, &s.table_b, &["id"]).unwrap();
+        // Empty gold: every label is no-match.
+        let mut labeler = OracleLabeler::new(Default::default(), "id", "id");
+        let tree = DecisionTreeLearner::default();
+        let (_, report) = run_development_stage(
+            &s.table_a,
+            &s.table_b,
+            vec![Box::new(OverlapBlocker::words("name", 1))],
+            features,
+            &[&tree],
+            &mut labeler,
+            &DevConfig {
+                sample_size: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.cv_reports.is_empty());
+        assert_eq!(report.chosen_matcher, "decision_tree");
+        assert_eq!(report.label_positive_rate, 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Sampling candidate pairs for labeling (Fig. 2: "take a sample S from
+//! C, and label the pairs in S").
+
+use magellan_block::CandidateSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A uniform random sample of `n` candidate pairs (without replacement;
+/// clamped to the candidate-set size). Returns positions into
+/// `candidates.pairs()`.
+pub fn sample_positions(candidates: &CandidateSet, n: usize, seed: u64) -> Vec<usize> {
+    let mut positions: Vec<usize> = (0..candidates.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    positions.shuffle(&mut rng);
+    positions.truncate(n.min(candidates.len()));
+    positions.sort_unstable();
+    positions
+}
+
+/// Sample the pairs themselves.
+pub fn sample_pairs(candidates: &CandidateSet, n: usize, seed: u64) -> Vec<(u32, u32)> {
+    sample_positions(candidates, n, seed)
+        .into_iter()
+        .map(|i| candidates.pairs()[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(n: u32) -> CandidateSet {
+        CandidateSet::new((0..n).map(|i| (i, i)).collect())
+    }
+
+    #[test]
+    fn sample_is_without_replacement_and_sized() {
+        let c = cands(100);
+        let s = sample_positions(&c, 30, 42);
+        assert_eq!(s.len(), 30);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn oversized_sample_clamps() {
+        let c = cands(5);
+        assert_eq!(sample_positions(&c, 50, 1).len(), 5);
+        assert!(sample_positions(&CandidateSet::default(), 3, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let c = cands(50);
+        assert_eq!(sample_positions(&c, 10, 7), sample_positions(&c, 10, 7));
+        assert_ne!(sample_positions(&c, 10, 7), sample_positions(&c, 10, 8));
+    }
+
+    #[test]
+    fn sample_pairs_maps_positions() {
+        let c = CandidateSet::new(vec![(0, 5), (1, 6), (2, 7)]);
+        let pairs = sample_pairs(&c, 2, 3);
+        assert_eq!(pairs.len(), 2);
+        for p in pairs {
+            assert!(c.contains(p));
+        }
+    }
+}

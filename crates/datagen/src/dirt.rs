@@ -1,0 +1,272 @@
+//! Dirt models: controlled corruption of rendered entity strings.
+//!
+//! The accuracy shapes of the paper's Table 2 are driven by how dirty each
+//! dataset is. A [`DirtModel`] bundles the per-field corruption
+//! probabilities; domain generators draw from it independently for the two
+//! renderings of a matched entity, so matched pairs differ realistically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-field corruption probabilities, all in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtModel {
+    /// Probability of one character-level typo per string field.
+    pub typo_rate: f64,
+    /// Probability of abbreviating an abbreviatable token
+    /// (given name → initial, "corporation" → "corp", "street" → "st").
+    pub abbrev_rate: f64,
+    /// Probability of swapping two adjacent tokens.
+    pub token_swap_rate: f64,
+    /// Probability of dropping a token (multi-token fields only).
+    pub token_drop_rate: f64,
+    /// Probability a field is missing entirely (rendered as NULL).
+    pub missing_rate: f64,
+    /// Probability of numeric drift on numeric fields (±1 unit or ±2%).
+    pub numeric_drift_rate: f64,
+}
+
+impl DirtModel {
+    /// Clean data: no corruption at all.
+    pub fn clean() -> Self {
+        DirtModel {
+            typo_rate: 0.0,
+            abbrev_rate: 0.0,
+            token_swap_rate: 0.0,
+            token_drop_rate: 0.0,
+            missing_rate: 0.0,
+            numeric_drift_rate: 0.0,
+        }
+    }
+
+    /// Light dirt: occasional typos and abbreviations (well-curated
+    /// sources, e.g. the bibliography domain).
+    pub fn light() -> Self {
+        DirtModel {
+            typo_rate: 0.08,
+            abbrev_rate: 0.15,
+            token_swap_rate: 0.03,
+            token_drop_rate: 0.02,
+            missing_rate: 0.01,
+            numeric_drift_rate: 0.02,
+        }
+    }
+
+    /// Moderate dirt: the typical enterprise-integration profile.
+    pub fn moderate() -> Self {
+        DirtModel {
+            typo_rate: 0.18,
+            abbrev_rate: 0.30,
+            token_swap_rate: 0.10,
+            token_drop_rate: 0.08,
+            missing_rate: 0.05,
+            numeric_drift_rate: 0.06,
+        }
+    }
+
+    /// Heavy dirt: the "vehicles"/"addresses" profile of Table 2 — so much
+    /// missingness and noise that some pairs become undecidable even for a
+    /// domain expert.
+    pub fn heavy() -> Self {
+        DirtModel {
+            typo_rate: 0.35,
+            abbrev_rate: 0.40,
+            token_swap_rate: 0.18,
+            token_drop_rate: 0.20,
+            missing_rate: 0.30,
+            numeric_drift_rate: 0.15,
+        }
+    }
+
+    /// Apply string dirt (typo / swap / drop) to a rendered value.
+    /// Abbreviation is domain-specific and handled by the generators.
+    /// Returns `None` when the field comes out missing.
+    pub fn corrupt_string(&self, s: &str, rng: &mut StdRng) -> Option<String> {
+        if rng.gen_bool(self.missing_rate) {
+            return None;
+        }
+        let mut out = s.to_owned();
+        if rng.gen_bool(self.token_swap_rate) {
+            out = swap_adjacent_tokens(&out, rng);
+        }
+        if rng.gen_bool(self.token_drop_rate) {
+            out = drop_token(&out, rng);
+        }
+        if rng.gen_bool(self.typo_rate) {
+            out = typo(&out, rng);
+        }
+        Some(out)
+    }
+
+    /// Apply numeric drift; returns `None` when missing.
+    pub fn corrupt_int(&self, v: i64, rng: &mut StdRng) -> Option<i64> {
+        if rng.gen_bool(self.missing_rate) {
+            return None;
+        }
+        if rng.gen_bool(self.numeric_drift_rate) {
+            let delta = if rng.gen_bool(0.5) { 1 } else { -1 };
+            Some(v + delta)
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Apply relative numeric drift to a float; returns `None` when missing.
+    pub fn corrupt_float(&self, v: f64, rng: &mut StdRng) -> Option<f64> {
+        if rng.gen_bool(self.missing_rate) {
+            return None;
+        }
+        if rng.gen_bool(self.numeric_drift_rate) {
+            let factor = 1.0 + rng.gen_range(-0.02..0.02);
+            Some((v * factor * 100.0).round() / 100.0)
+        } else {
+            Some(v)
+        }
+    }
+}
+
+/// Introduce one character-level typo: delete, duplicate, replace, or
+/// transpose. No-op on empty strings.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..chars.len());
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            out.remove(i); // deletion
+        }
+        1 => out.insert(i, chars[i]), // duplication
+        2 => out[i] = (b'a' + rng.gen_range(0..26u8)) as char, // replacement
+        _ => {
+            if i + 1 < out.len() {
+                out.swap(i, i + 1); // transposition
+            } else if out.len() >= 2 {
+                let n = out.len();
+                out.swap(n - 2, n - 1);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Swap two adjacent whitespace tokens (no-op for < 2 tokens).
+pub fn swap_adjacent_tokens(s: &str, rng: &mut StdRng) -> String {
+    let mut toks: Vec<&str> = s.split_whitespace().collect();
+    if toks.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..toks.len() - 1);
+    toks.swap(i, i + 1);
+    toks.join(" ")
+}
+
+/// Drop one whitespace token (no-op for < 2 tokens — never empties a field).
+pub fn drop_token(s: &str, rng: &mut StdRng) -> String {
+    let mut toks: Vec<&str> = s.split_whitespace().collect();
+    if toks.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..toks.len());
+    toks.remove(i);
+    toks.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn clean_model_is_identity() {
+        let m = DirtModel::clean();
+        let mut r = rng(1);
+        for s in ["dave smith", "", "x"] {
+            assert_eq!(m.corrupt_string(s, &mut r), Some(s.to_owned()));
+        }
+        assert_eq!(m.corrupt_int(42, &mut r), Some(42));
+        assert_eq!(m.corrupt_float(9.5, &mut r), Some(9.5));
+    }
+
+    #[test]
+    fn heavy_model_produces_missing_values() {
+        let m = DirtModel::heavy();
+        let mut r = rng(2);
+        let missing = (0..500)
+            .filter(|_| m.corrupt_string("some value here", &mut r).is_none())
+            .count();
+        // missing_rate = 0.30 -> expect roughly 150/500.
+        assert!((100..220).contains(&missing), "{missing}");
+    }
+
+    #[test]
+    fn typo_changes_string_by_bounded_edit() {
+        let mut r = rng(3);
+        for _ in 0..100 {
+            let t = typo("madison", &mut r);
+            let d = magellan_textsim_lev(&t, "madison");
+            assert!(d <= 2, "{t} too far");
+        }
+    }
+
+    // Small local Levenshtein to avoid a dependency cycle in tests.
+    fn magellan_textsim_lev(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, cb) in b.iter().enumerate() {
+                cur[j + 1] = (prev[j] + usize::from(ca != cb))
+                    .min(prev[j + 1] + 1)
+                    .min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn token_ops_preserve_token_multiset_or_subset() {
+        let mut r = rng(4);
+        let s = "alpha beta gamma delta";
+        let swapped = swap_adjacent_tokens(s, &mut r);
+        let mut a: Vec<&str> = s.split_whitespace().collect();
+        let mut b: Vec<&str> = swapped.split_whitespace().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let dropped = drop_token(s, &mut r);
+        assert_eq!(dropped.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn single_token_fields_never_emptied() {
+        let mut r = rng(5);
+        assert_eq!(drop_token("solo", &mut r), "solo");
+        assert_eq!(swap_adjacent_tokens("solo", &mut r), "solo");
+    }
+
+    #[test]
+    fn numeric_drift_is_small() {
+        let m = DirtModel {
+            numeric_drift_rate: 1.0,
+            ..DirtModel::clean()
+        };
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let v = m.corrupt_int(2015, &mut r).unwrap();
+            assert!((2014..=2016).contains(&v));
+            let f = m.corrupt_float(100.0, &mut r).unwrap();
+            assert!((97.9..=102.1).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # magellan-datagen
+//!
+//! Synthetic EM dataset generators with gold standards.
+//!
+//! The paper evaluates PyMatcher and CloudMatcher on proprietary industrial
+//! and domain-science datasets (Walmart products, AmFam vehicles and
+//! addresses, Brazilian cattle ranches, ...). Those datasets are not
+//! available, so this crate builds the closest synthetic equivalents: for
+//! each deployment row of Tables 1 and 2 there is a generator producing two
+//! tables of the same scale and, crucially, the same *dirt profile* —
+//! typos, abbreviations, token reorderings, missing values, format drift —
+//! because dirt, size, and match density are what drive the accuracy shapes
+//! those tables report.
+//!
+//! Every scenario carries its gold match set, which powers the
+//! oracle/noisy labelers and the final precision/recall scoring.
+//!
+//! Notable pathological profiles reproduced:
+//!
+//! * **vehicles** — heavy missingness, enough that even the oracle's
+//!   underlying signal is weak (the AmFam story of §5.2);
+//! * **vendors** — a slice of records (the "Brazilian vendors") carry a
+//!   *generic placeholder address*, making those pairs undecidable; the
+//!   `vendors_no_brazil` variant drops them and accuracy recovers
+//!   (Table 2's "Vendors (no Brazil)" rerun).
+
+#![warn(missing_docs)]
+
+pub mod dirt;
+pub mod domains;
+pub mod scenario;
+pub mod words;
+
+pub use dirt::DirtModel;
+pub use scenario::{EmScenario, ScenarioConfig};

@@ -1,0 +1,187 @@
+//! Binary-classification metrics: the precision / recall / F1 numbers
+//! every accuracy column in the paper's Tables 1 and 2 reports.
+
+/// Confusion-matrix-derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Metrics {
+    /// Compute from parallel prediction/gold slices.
+    pub fn from_predictions(predicted: &[bool], gold: &[bool]) -> Metrics {
+        assert_eq!(predicted.len(), gold.len(), "length mismatch");
+        let mut m = Metrics::default();
+        for (&p, &g) in predicted.iter().zip(gold) {
+            match (p, g) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Build from pair sets: `predicted` and `gold` are sets of id pairs.
+    /// (The EM evaluation path: TN is everything in the universe outside
+    /// both sets, and is not needed for P/R/F1.)
+    ///
+    /// ```
+    /// use magellan_ml::Metrics;
+    /// use std::collections::HashSet;
+    ///
+    /// let predicted: HashSet<(&str, &str)> = [("a1", "b1"), ("a2", "b9")].into();
+    /// let gold: HashSet<(&str, &str)> = [("a1", "b1"), ("a3", "b2")].into();
+    /// let m = Metrics::from_pair_sets(&predicted, &gold);
+    /// assert_eq!(m.precision(), 0.5);
+    /// assert_eq!(m.recall(), 0.5);
+    /// ```
+    pub fn from_pair_sets<T: Eq + std::hash::Hash>(
+        predicted: &std::collections::HashSet<T>,
+        gold: &std::collections::HashSet<T>,
+    ) -> Metrics {
+        let tp = predicted.intersection(gold).count();
+        Metrics {
+            tp,
+            fp: predicted.len() - tp,
+            tn: 0,
+            fn_: gold.len() - tp,
+        }
+    }
+
+    /// Total examples counted.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted positive
+    /// (the vacuous-precision convention used in EM evaluation).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there are no gold positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all four cells.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.1}% R={:.1}% F1={:.1}% (tp={} fp={} fn={} tn={})",
+            100.0 * self.precision(),
+            100.0 * self.recall(),
+            100.0 * self.f1(),
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.tn
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = Metrics::from_predictions(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_matrix() {
+        // tp=2 fp=1 fn=1 tn=1
+        let m = Metrics::from_predictions(
+            &[true, true, true, false, false],
+            &[true, true, false, true, false],
+        );
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_conventions() {
+        let m = Metrics::from_predictions(&[false, false], &[false, false]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        let m = Metrics::from_predictions(&[false], &[true]);
+        assert_eq!(m.precision(), 1.0); // nothing predicted
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn pair_set_metrics() {
+        let predicted: HashSet<(u32, u32)> = [(1, 1), (2, 2), (3, 9)].into_iter().collect();
+        let gold: HashSet<(u32, u32)> = [(1, 1), (2, 2), (4, 4)].into_iter().collect();
+        let m = Metrics::from_pair_sets(&predicted, &gold);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Metrics::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn display_is_percentages() {
+        let m = Metrics::from_predictions(&[true, false], &[true, true]);
+        let s = m.to_string();
+        assert!(s.contains("P=100.0%") && s.contains("R=50.0%"), "{s}");
+    }
+}

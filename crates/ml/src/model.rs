@@ -1,0 +1,55 @@
+//! The learner/classifier traits every matcher implements.
+
+use crate::dataset::Dataset;
+
+/// A trained binary classifier.
+pub trait Classifier: Send + Sync {
+    /// Probability-like score in `[0, 1]` that the example is positive.
+    fn predict_proba(&self, row: &[f64]) -> f64;
+
+    /// Hard prediction at the 0.5 operating point.
+    fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+}
+
+/// A learning algorithm that produces a [`Classifier`] from data.
+///
+/// Learners are the unit of matcher selection in the Fig. 2 guide: the
+/// pipeline cross-validates several learners (decision tree, random forest,
+/// logistic regression, ...) and picks the one with the best F1.
+pub trait Learner: Send + Sync {
+    /// A short display name ("decision_tree", "random_forest", ...).
+    fn name(&self) -> &str;
+
+    /// Train on a dataset.
+    fn fit(&self, data: &Dataset) -> Box<dyn Classifier>;
+}
+
+/// A trivial constant classifier, useful as a baseline and for degenerate
+/// training sets (single-class labels).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantClassifier {
+    /// Score returned for every example.
+    pub proba: f64,
+}
+
+impl Classifier for ConstantClassifier {
+    fn predict_proba(&self, _row: &[f64]) -> f64 {
+        self.proba
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_classifier_predicts_constantly() {
+        let c = ConstantClassifier { proba: 0.9 };
+        assert!(c.predict(&[1.0]));
+        assert_eq!(c.predict_proba(&[]), 0.9);
+        let c = ConstantClassifier { proba: 0.1 };
+        assert!(!c.predict(&[42.0]));
+    }
+}

@@ -1,0 +1,172 @@
+//! Tokenized collections with frequency-ordered integer token ids.
+//!
+//! Prefix filtering needs a *global token order* in which rare tokens come
+//! first: a set's "prefix" under that order is maximally selective. We
+//! tokenize both collections, count document frequencies over their union,
+//! assign ids rarest-first (ties broken lexicographically for determinism),
+//! and store each record as a sorted `Vec<u32>` of token ids.
+
+use std::collections::HashMap;
+
+use magellan_textsim::tokenize::Tokenizer;
+
+/// A pair of string collections tokenized under one shared token order.
+#[derive(Debug, Clone)]
+pub struct TokenizedCollection {
+    /// Sorted token-id sets, one per left record (empty for null/empty input).
+    pub left: Vec<Vec<u32>>,
+    /// Sorted token-id sets, one per right record.
+    pub right: Vec<Vec<u32>>,
+    /// Number of distinct tokens across both sides.
+    pub vocab_size: usize,
+}
+
+impl TokenizedCollection {
+    /// Tokenize two collections with set semantics and a shared,
+    /// rarest-first token order. `None` entries produce empty token sets
+    /// (they can never reach a positive similarity threshold).
+    pub fn build<S: AsRef<str>>(
+        left: &[Option<S>],
+        right: &[Option<S>],
+        tokenizer: &dyn Tokenizer,
+    ) -> Self {
+        let tokenize_side = |side: &[Option<S>]| -> Vec<Vec<String>> {
+            side.iter()
+                .map(|s| match s {
+                    Some(s) => {
+                        let mut toks = tokenizer.tokenize(s.as_ref());
+                        toks.sort_unstable();
+                        toks.dedup();
+                        toks
+                    }
+                    None => Vec::new(),
+                })
+                .collect()
+        };
+        let ltoks = tokenize_side(left);
+        let rtoks = tokenize_side(right);
+
+        // Document frequency over the union of both sides.
+        let mut df: HashMap<&str, u32> = HashMap::new();
+        for rec in ltoks.iter().chain(rtoks.iter()) {
+            for t in rec {
+                *df.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        // Rarest-first, lexicographic tiebreak for determinism.
+        let mut vocab: Vec<(&str, u32)> = df.into_iter().collect();
+        vocab.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        let ids: HashMap<&str, u32> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (*t, i as u32))
+            .collect();
+
+        let map_side = |toks: &[Vec<String>]| -> Vec<Vec<u32>> {
+            toks.iter()
+                .map(|rec| {
+                    let mut ids_rec: Vec<u32> =
+                        rec.iter().map(|t| ids[t.as_str()]).collect();
+                    ids_rec.sort_unstable();
+                    ids_rec
+                })
+                .collect()
+        };
+        TokenizedCollection {
+            left: map_side(&ltoks),
+            right: map_side(&rtoks),
+            vocab_size: vocab.len(),
+        }
+    }
+}
+
+/// Exact intersection size of two sorted id sets (merge walk).
+pub fn overlap_sorted(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_textsim::tokenize::WhitespaceTokenizer;
+
+    fn some(items: &[&str]) -> Vec<Option<String>> {
+        items.iter().map(|s| Some((*s).to_owned())).collect()
+    }
+
+    #[test]
+    fn shared_vocabulary_across_sides() {
+        let tok = WhitespaceTokenizer::new();
+        let c = TokenizedCollection::build(
+            &some(&["a b", "b c"]),
+            &some(&["c d"]),
+            &tok,
+        );
+        assert_eq!(c.vocab_size, 4);
+        assert_eq!(c.left.len(), 2);
+        assert_eq!(c.right.len(), 1);
+        // Every record's ids are sorted and deduped.
+        for rec in c.left.iter().chain(c.right.iter()) {
+            let mut sorted = rec.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(*rec, sorted);
+        }
+    }
+
+    #[test]
+    fn rare_tokens_get_small_ids() {
+        let tok = WhitespaceTokenizer::new();
+        // "common" appears in 3 records, "rare" in 1.
+        let c = TokenizedCollection::build(
+            &some(&["common rare", "common"]),
+            &some(&["common"]),
+            &tok,
+        );
+        // The record with both tokens: the rare token id must come first in
+        // sorted order, i.e. have the smaller id.
+        let both = &c.left[0];
+        assert_eq!(both.len(), 2);
+        assert!(both[0] < both[1]);
+        // And the singleton records hold the common token = the larger id.
+        assert_eq!(c.left[1], vec![both[1]]);
+    }
+
+    #[test]
+    fn nulls_become_empty_sets() {
+        let tok = WhitespaceTokenizer::new();
+        let left: Vec<Option<String>> = vec![None, Some("x".to_owned())];
+        let c = TokenizedCollection::build(&left, &some(&["x"]), &tok);
+        assert!(c.left[0].is_empty());
+        assert_eq!(c.left[1], c.right[0]);
+    }
+
+    #[test]
+    fn overlap_sorted_matches_naive() {
+        assert_eq!(overlap_sorted(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(overlap_sorted(&[], &[1]), 0);
+        assert_eq!(overlap_sorted(&[4], &[4]), 1);
+        assert_eq!(overlap_sorted(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn duplicate_tokens_in_record_are_deduped() {
+        let tok = WhitespaceTokenizer::new();
+        let c = TokenizedCollection::build(&some(&["a a a b"]), &some(&["a"]), &tok);
+        assert_eq!(c.left[0].len(), 2);
+    }
+}

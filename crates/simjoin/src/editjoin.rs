@@ -1,0 +1,318 @@
+//! Edit-distance join: all cross pairs within Levenshtein distance `d`.
+//!
+//! Filter-verify plan:
+//!
+//! * **length filter**: `||x| − |y|| ≤ d`;
+//! * **q-gram count filter**: strings within distance `d` share at least
+//!   `max(|Gx|, |Gy|) − q·d` unpadded q-grams (each edit destroys at most
+//!   `q` grams). When that bound is non-positive (short strings), the
+//!   length-bucketed candidates are verified directly;
+//! * **verify**: banded (Ukkonen) Levenshtein with early exit.
+
+use std::collections::HashMap;
+
+/// Banded Levenshtein: `Some(dist)` if `dist ≤ max_d`, else `None`.
+/// O((max_d+1)·min(|a|,|b|)) time.
+pub fn levenshtein_within(a: &str, b: &str, max_d: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    if m - n > max_d {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    const INF: usize = usize::MAX / 2;
+    // Row over the shorter string; band of width 2*max_d+1 around the diagonal.
+    let mut prev = vec![INF; n + 1];
+    let mut cur = vec![INF; n + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(max_d.min(n) + 1) {
+        *p = j;
+    }
+    for i in 1..=m {
+        let lo = i.saturating_sub(max_d).max(1);
+        let hi = (i + max_d).min(n);
+        if lo > hi {
+            return None;
+        }
+        cur[lo - 1] = if lo == 1 { i } else { INF };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(b[i - 1] != a[j - 1]);
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < n {
+            cur[hi + 1] = INF; // seal band edge for next row's `ins` reads
+        }
+        if row_min > max_d {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[n] <= max_d).then_some(prev[n])
+}
+
+/// A qualifying pair from an edit-distance join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditJoinPair {
+    /// Index into the left collection.
+    pub l: usize,
+    /// Index into the right collection.
+    pub r: usize,
+    /// The exact edit distance (≤ the join threshold).
+    pub dist: usize,
+}
+
+fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return Vec::new();
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Join: every `(l, r)` with `levenshtein(left[l], right[r]) ≤ d`.
+/// `None` entries never match. Uses q-gram size `q = 2`.
+pub fn edit_distance_join<S: AsRef<str>>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    d: usize,
+) -> Vec<EditJoinPair> {
+    edit_distance_join_q(left, right, d, 2)
+}
+
+/// [`edit_distance_join`] with an explicit q-gram size.
+pub fn edit_distance_join_q<S: AsRef<str>>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    d: usize,
+    q: usize,
+) -> Vec<EditJoinPair> {
+    assert!(q >= 1, "q must be at least 1");
+    // Token-id map over all grams of the right side.
+    let mut gram_ids: HashMap<String, u32> = HashMap::new();
+    let mut postings: Vec<Vec<u32>> = Vec::new(); // gram id -> right record ids
+    let mut right_lens: Vec<usize> = Vec::with_capacity(right.len());
+    let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
+    let mut right_gram_count: Vec<usize> = Vec::with_capacity(right.len());
+    for (rid, s) in right.iter().enumerate() {
+        let Some(s) = s else {
+            right_lens.push(usize::MAX); // unmatched sentinel
+            right_gram_count.push(0);
+            continue;
+        };
+        let s = s.as_ref();
+        let len = s.chars().count();
+        right_lens.push(len);
+        by_len.entry(len).or_default().push(rid as u32);
+        let grams = qgrams(s, q);
+        right_gram_count.push(grams.len());
+        for g in grams {
+            let next_id = gram_ids.len() as u32;
+            let id = *gram_ids.entry(g).or_insert(next_id);
+            if id as usize == postings.len() {
+                postings.push(Vec::new());
+            }
+            postings[id as usize].push(rid as u32);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut counts: Vec<u32> = vec![0; right.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    for (l, s) in left.iter().enumerate() {
+        let Some(s) = s else { continue };
+        let s = s.as_ref();
+        let n = s.chars().count();
+        let lo = n.saturating_sub(d);
+        let hi = n + d;
+
+        // Count-filterable candidates: partner length m where the required
+        // shared-gram count is >= 1, i.e. max(|Gx|,|Gy|) - q*d >= 1.
+        // We conservatively require only `req(m)` grams for each candidate.
+        let probe_grams = qgrams(s, q);
+        for g in &probe_grams {
+            if let Some(&id) = gram_ids.get(g) {
+                for &rid in &postings[id as usize] {
+                    if counts[rid as usize] == 0 {
+                        touched.push(rid);
+                    }
+                    counts[rid as usize] += 1;
+                }
+            }
+        }
+        let x_grams = probe_grams.len();
+        for &rid in &touched {
+            let m = right_lens[rid as usize];
+            if m < lo || m > hi {
+                counts[rid as usize] = 0;
+                continue;
+            }
+            let req = x_grams
+                .max(right_gram_count[rid as usize])
+                .saturating_sub(q * d);
+            if req >= 1 && (counts[rid as usize] as usize) < req {
+                counts[rid as usize] = 0;
+                continue;
+            }
+            counts[rid as usize] = 0;
+            if req >= 1 {
+                if let Some(b) = right[rid as usize].as_ref() {
+                    if let Some(dist) = levenshtein_within(s, b.as_ref(), d) {
+                        out.push(EditJoinPair {
+                            l,
+                            r: rid as usize,
+                            dist,
+                        });
+                    }
+                }
+            }
+            // req == 0 candidates are handled by the bucket scan below to
+            // avoid duplicates.
+        }
+        touched.clear();
+
+        // Bucket scan for partner lengths where the count filter is
+        // powerless (req(m) <= 0): these must all be verified.
+        for m in lo..=hi {
+            let req = x_grams
+                .max(m.saturating_sub(q - 1))
+                .saturating_sub(q * d);
+            if req >= 1 {
+                continue; // covered by the count-filter path
+            }
+            if let Some(bucket) = by_len.get(&m) {
+                for &rid in bucket {
+                    if let Some(b) = right[rid as usize].as_ref() {
+                        if let Some(dist) = levenshtein_within(s, b.as_ref(), d) {
+                            out.push(EditJoinPair {
+                                l,
+                                r: rid as usize,
+                                dist,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|a| (a.l, a.r));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_textsim::seqsim::levenshtein;
+
+    fn some(items: &[&str]) -> Vec<Option<String>> {
+        items.iter().map(|s| Some((*s).to_owned())).collect()
+    }
+
+    #[test]
+    fn banded_levenshtein_agrees_with_full() {
+        let words = ["", "a", "ab", "kitten", "sitting", "mississippi", "misisipi"];
+        for a in words {
+            for b in words {
+                let full = levenshtein(a, b);
+                for d in 0..6 {
+                    let banded = levenshtein_within(a, b, d);
+                    if full <= d {
+                        assert_eq!(banded, Some(full), "{a} {b} d={d}");
+                    } else {
+                        assert_eq!(banded, None, "{a} {b} d={d}");
+                    }
+                }
+            }
+        }
+    }
+
+    fn naive(left: &[Option<String>], right: &[Option<String>], d: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (l, a) in left.iter().enumerate() {
+            for (r, b) in right.iter().enumerate() {
+                if let (Some(a), Some(b)) = (a, b) {
+                    if levenshtein(a, b) <= d {
+                        out.push((l, r));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn join_matches_naive_small() {
+        let left = some(&["dave", "daniel", "joe", "x", ""]);
+        let right = some(&["dav", "david", "daniela", "joseph", "y", ""]);
+        for d in 0..4 {
+            let fast: Vec<(usize, usize)> = edit_distance_join(&left, &right, d)
+                .into_iter()
+                .map(|p| (p.l, p.r))
+                .collect();
+            let slow = naive(&left, &right, d);
+            assert_eq!(fast, slow, "d={d}");
+        }
+    }
+
+    #[test]
+    fn join_matches_naive_random() {
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mk = |next: &mut dyn FnMut() -> usize| -> Vec<Option<String>> {
+            (0..80)
+                .map(|_| {
+                    let n = next() % 8;
+                    Some((0..n).map(|_| (b'a' + (next() % 4) as u8) as char).collect())
+                })
+                .collect()
+        };
+        let left = mk(&mut next);
+        let right = mk(&mut next);
+        for d in [0, 1, 2] {
+            let fast: Vec<(usize, usize)> = edit_distance_join(&left, &right, d)
+                .into_iter()
+                .map(|p| (p.l, p.r))
+                .collect();
+            let slow = naive(&left, &right, d);
+            assert_eq!(fast, slow, "d={d}");
+        }
+    }
+
+    #[test]
+    fn distances_reported_exactly() {
+        let left = some(&["kitten"]);
+        let right = some(&["sitting", "kitten"]);
+        let out = edit_distance_join(&left, &right, 3);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dist, 3);
+        assert_eq!(out[1].dist, 0);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let left: Vec<Option<String>> = vec![None];
+        let right = some(&["x"]);
+        assert!(edit_distance_join(&left, &right, 5).is_empty());
+    }
+
+    #[test]
+    fn unicode_lengths_counted_in_chars() {
+        let left = some(&["héllo"]);
+        let right = some(&["hello"]);
+        let out = edit_distance_join(&left, &right, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dist, 1);
+    }
+}

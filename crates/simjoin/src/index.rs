@@ -1,0 +1,78 @@
+//! Prefix inverted index.
+
+use std::collections::HashMap;
+
+/// Inverted index from token id to the (record, position) pairs whose
+/// *prefix* contains that token. Built over the indexed (right) side of a
+/// join; probed with the prefixes of the other side.
+#[derive(Debug, Default)]
+pub struct PrefixIndex {
+    postings: HashMap<u32, Vec<(u32, u32)>>,
+}
+
+impl PrefixIndex {
+    /// Build the index. `prefix_len_of(size)` gives the number of leading
+    /// (rarest) tokens of a record of that size to index.
+    pub fn build(records: &[Vec<u32>], prefix_len_of: impl Fn(usize) -> usize) -> Self {
+        let mut postings: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for (rid, rec) in records.iter().enumerate() {
+            let plen = prefix_len_of(rec.len()).min(rec.len());
+            for (pos, &tok) in rec[..plen].iter().enumerate() {
+                postings
+                    .entry(tok)
+                    .or_default()
+                    .push((rid as u32, pos as u32));
+            }
+        }
+        PrefixIndex { postings }
+    }
+
+    /// Postings list of a token (records whose prefix holds the token).
+    pub fn get(&self, token: u32) -> &[(u32, u32)] {
+        self.postings.get(&token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total postings across all tokens.
+    pub fn n_postings(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_only_prefixes() {
+        let records = vec![vec![1, 2, 3, 4], vec![2, 5], vec![]];
+        // Constant prefix length of 2.
+        let idx = PrefixIndex::build(&records, |_| 2);
+        assert_eq!(idx.get(1), &[(0, 0)]);
+        assert_eq!(idx.get(2), &[(0, 1), (1, 0)]);
+        assert!(idx.get(3).is_empty(), "token 3 is beyond record 0's prefix");
+        assert_eq!(idx.get(5), &[(1, 1)]);
+        assert_eq!(idx.n_tokens(), 3);
+        assert_eq!(idx.n_postings(), 4);
+    }
+
+    #[test]
+    fn prefix_longer_than_record_is_clamped() {
+        let records = vec![vec![7]];
+        let idx = PrefixIndex::build(&records, |_| 10);
+        assert_eq!(idx.get(7), &[(0, 0)]);
+    }
+
+    #[test]
+    fn size_dependent_prefix() {
+        let records = vec![vec![1, 2, 3, 4], vec![1, 2]];
+        // Half the record, at least 1.
+        let idx = PrefixIndex::build(&records, |s| (s / 2).max(1));
+        assert_eq!(idx.get(1).len(), 2);
+        assert_eq!(idx.get(2).len(), 1); // only the 4-token record indexes position 1
+    }
+}

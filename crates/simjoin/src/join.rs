@@ -1,0 +1,432 @@
+//! The filter-verify set-similarity join.
+
+use magellan_textsim::tokenize::Tokenizer;
+
+use crate::collection::{overlap_sorted, TokenizedCollection};
+use crate::filters;
+use crate::index::PrefixIndex;
+
+/// A similarity measure + threshold for a set-similarity join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SetSimMeasure {
+    /// Jaccard similarity ≥ threshold (threshold in `(0, 1]`).
+    Jaccard(f64),
+    /// Cosine (Ochiai) similarity ≥ threshold (threshold in `(0, 1]`).
+    Cosine(f64),
+    /// Dice similarity ≥ threshold (threshold in `(0, 1]`).
+    Dice(f64),
+    /// Absolute overlap `|x ∩ y|` ≥ size (size ≥ 1).
+    OverlapSize(usize),
+}
+
+impl SetSimMeasure {
+    fn validate(&self) {
+        match self {
+            SetSimMeasure::Jaccard(t) | SetSimMeasure::Cosine(t) | SetSimMeasure::Dice(t) => {
+                assert!(
+                    *t > 0.0 && *t <= 1.0,
+                    "threshold must be in (0, 1], got {t}"
+                );
+            }
+            SetSimMeasure::OverlapSize(c) => {
+                assert!(*c >= 1, "overlap size must be at least 1");
+            }
+        }
+    }
+
+    /// Prefix length of a set of size `s` on either side of the join.
+    fn prefix_len(&self, s: usize) -> usize {
+        match *self {
+            SetSimMeasure::Jaccard(t) => filters::jaccard_prefix_len(s, t),
+            SetSimMeasure::Cosine(t) => filters::cosine_prefix_len(s, t),
+            SetSimMeasure::Dice(t) => filters::dice_prefix_len(s, t),
+            SetSimMeasure::OverlapSize(c) => filters::overlap_prefix_len(s, c),
+        }
+    }
+
+    /// Admissible partner sizes for a set of size `s`.
+    fn size_bounds(&self, s: usize) -> (usize, usize) {
+        match *self {
+            SetSimMeasure::Jaccard(t) => filters::jaccard_size_bounds(s, t),
+            SetSimMeasure::Cosine(t) => filters::cosine_size_bounds(s, t),
+            SetSimMeasure::Dice(t) => filters::dice_size_bounds(s, t),
+            SetSimMeasure::OverlapSize(c) => (c, usize::MAX),
+        }
+    }
+
+    /// Similarity value reported for a verified pair.
+    fn similarity(&self, sx: usize, sy: usize, overlap: usize) -> f64 {
+        match self {
+            SetSimMeasure::Jaccard(_) => overlap as f64 / (sx + sy - overlap) as f64,
+            SetSimMeasure::Cosine(_) => overlap as f64 / ((sx * sy) as f64).sqrt(),
+            SetSimMeasure::Dice(_) => 2.0 * overlap as f64 / (sx + sy) as f64,
+            SetSimMeasure::OverlapSize(_) => overlap as f64,
+        }
+    }
+
+    /// Minimum intersection size a pair of these sizes needs to qualify.
+    fn min_overlap(&self, sx: usize, sy: usize) -> usize {
+        match *self {
+            SetSimMeasure::Jaccard(t) => filters::jaccard_min_overlap(sx, sy, t),
+            SetSimMeasure::Cosine(t) => filters::cosine_min_overlap(sx, sy, t),
+            SetSimMeasure::Dice(t) => filters::dice_min_overlap(sx, sy, t),
+            SetSimMeasure::OverlapSize(c) => c,
+        }
+    }
+
+    /// Does a pair with the given sizes and exact overlap qualify?
+    fn qualifies(&self, sx: usize, sy: usize, overlap: usize) -> bool {
+        overlap >= self.min_overlap(sx, sy)
+    }
+}
+
+/// One qualifying pair: left record index, right record index, similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// Index into the left collection.
+    pub l: usize,
+    /// Index into the right collection.
+    pub r: usize,
+    /// The measure's similarity value (overlap size for `OverlapSize`).
+    pub sim: f64,
+}
+
+/// Join two string collections. `None` / empty-token records never match
+/// (a positive threshold is unreachable for an empty set).
+///
+/// Returns pairs sorted by `(l, r)`.
+///
+/// ```
+/// use magellan_simjoin::{set_sim_join, SetSimMeasure};
+/// use magellan_textsim::tokenize::WhitespaceTokenizer;
+///
+/// let left = vec![Some("dave smith"), Some("joe wilson")];
+/// let right = vec![Some("david smith"), Some("dave smith")];
+/// let pairs = set_sim_join(&left, &right, &WhitespaceTokenizer::new(),
+///                          SetSimMeasure::Jaccard(0.9));
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!((pairs[0].l, pairs[0].r, pairs[0].sim), (0, 1, 1.0));
+/// ```
+pub fn set_sim_join<S: AsRef<str>>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    tokenizer: &dyn Tokenizer,
+    measure: SetSimMeasure,
+) -> Vec<JoinPair> {
+    measure.validate();
+    let coll = TokenizedCollection::build(left, right, tokenizer);
+    join_tokenized(&coll, measure)
+}
+
+/// Join a pre-tokenized collection (lets callers reuse tokenization).
+pub fn join_tokenized(coll: &TokenizedCollection, measure: SetSimMeasure) -> Vec<JoinPair> {
+    measure.validate();
+    let index = PrefixIndex::build(&coll.right, |s| measure.prefix_len(s));
+    let mut out = Vec::new();
+    let mut stamps = vec![u32::MAX; coll.right.len()];
+    for (l, x) in coll.left.iter().enumerate() {
+        probe_one(l, x, coll, &index, measure, &mut stamps, &mut out);
+    }
+    out.sort_unstable_by_key(|a| (a.l, a.r));
+    out
+}
+
+/// Probe a single left record against the prefix index.
+fn probe_one(
+    l: usize,
+    x: &[u32],
+    coll: &TokenizedCollection,
+    index: &PrefixIndex,
+    measure: SetSimMeasure,
+    stamps: &mut [u32],
+    out: &mut Vec<JoinPair>,
+) {
+    let sx = x.len();
+    if sx == 0 {
+        return;
+    }
+    let (lo, hi) = measure.size_bounds(sx);
+    let probe_len = measure.prefix_len(sx).min(sx);
+    let stamp = l as u32;
+    for (px, &tok) in x[..probe_len].iter().enumerate() {
+        for &(rid, py) in index.get(tok) {
+            let rid = rid as usize;
+            if stamps[rid] == stamp {
+                continue; // already considered for this probe
+            }
+            stamps[rid] = stamp;
+            let y = &coll.right[rid];
+            let sy = y.len();
+            if sy < lo || sy > hi {
+                continue;
+            }
+            // Position filter: this is the pair's *first* shared prefix
+            // token (tokens are globally ordered and both sets sorted, so
+            // the first collision in probe order is the smallest shared
+            // token on both sides). The intersection is therefore bounded
+            // by 1 + what remains after these positions.
+            let ubound = 1 + (sx - px - 1).min(sy - py as usize - 1);
+            if ubound < measure.min_overlap(sx, sy) {
+                continue;
+            }
+            let overlap = overlap_sorted(x, y);
+            if measure.qualifies(sx, sy, overlap) {
+                out.push(JoinPair {
+                    l,
+                    r: rid,
+                    sim: measure.similarity(sx, sy, overlap),
+                });
+            }
+        }
+    }
+}
+
+/// Multi-threaded variant of [`set_sim_join`]: probes are partitioned
+/// across `n_workers` crossbeam scoped threads (the production-stage "Dask"
+/// role in the paper). Results are identical to the serial join.
+pub fn set_sim_join_parallel<S: AsRef<str> + Sync>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    tokenizer: &dyn Tokenizer,
+    measure: SetSimMeasure,
+    n_workers: usize,
+) -> Vec<JoinPair> {
+    measure.validate();
+    let coll = TokenizedCollection::build(left, right, tokenizer);
+    join_tokenized_parallel(&coll, measure, n_workers)
+}
+
+/// Multi-threaded variant of [`join_tokenized`].
+pub fn join_tokenized_parallel(
+    coll: &TokenizedCollection,
+    measure: SetSimMeasure,
+    n_workers: usize,
+) -> Vec<JoinPair> {
+    measure.validate();
+    let n_workers = n_workers.max(1);
+    if n_workers == 1 || coll.left.len() < 2 * n_workers {
+        return join_tokenized(coll, measure);
+    }
+    let index = PrefixIndex::build(&coll.right, |s| measure.prefix_len(s));
+    let chunk = coll.left.len().div_ceil(n_workers);
+    let mut results: Vec<Vec<JoinPair>> = Vec::with_capacity(n_workers);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|w| {
+                let index = &index;
+                let coll_ref = &*coll;
+                scope.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(coll_ref.left.len());
+                    let mut out = Vec::new();
+                    let mut stamps = vec![u32::MAX; coll_ref.right.len()];
+                    for l in lo..hi {
+                        probe_one(
+                            l,
+                            &coll_ref.left[l],
+                            coll_ref,
+                            index,
+                            measure,
+                            &mut stamps,
+                            &mut out,
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("join worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut out: Vec<JoinPair> = results.into_iter().flatten().collect();
+    out.sort_unstable_by_key(|a| (a.l, a.r));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magellan_textsim::setsim;
+    use magellan_textsim::tokenize::{QgramTokenizer, WhitespaceTokenizer};
+
+    fn some(items: &[&str]) -> Vec<Option<String>> {
+        items.iter().map(|s| Some((*s).to_owned())).collect()
+    }
+
+    /// Naive reference join via the full cross product.
+    fn naive(
+        left: &[Option<String>],
+        right: &[Option<String>],
+        tokenizer: &dyn magellan_textsim::tokenize::Tokenizer,
+        measure: SetSimMeasure,
+    ) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (l, a) in left.iter().enumerate() {
+            for (r, b) in right.iter().enumerate() {
+                let (Some(a), Some(b)) = (a, b) else { continue };
+                let ta = tokenizer.tokenize(a);
+                let tb = tokenizer.tokenize(b);
+                if ta.is_empty() || tb.is_empty() {
+                    continue;
+                }
+                let ok = match measure {
+                    SetSimMeasure::Jaccard(t) => setsim::jaccard(&ta, &tb) >= t - 1e-9,
+                    SetSimMeasure::Cosine(t) => setsim::cosine(&ta, &tb) >= t - 1e-9,
+                    SetSimMeasure::Dice(t) => setsim::dice(&ta, &tb) >= t - 1e-9,
+                    SetSimMeasure::OverlapSize(c) => setsim::overlap_size(&ta, &tb) >= c,
+                };
+                if ok {
+                    out.push((l, r));
+                }
+            }
+        }
+        out
+    }
+
+    fn pairs(join: &[JoinPair]) -> Vec<(usize, usize)> {
+        join.iter().map(|p| (p.l, p.r)).collect()
+    }
+
+    #[test]
+    fn jaccard_join_matches_naive() {
+        let left = some(&[
+            "dave smith madison",
+            "joe wilson san jose",
+            "dan smith middleton",
+        ]);
+        let right = some(&[
+            "david smith madison",
+            "daniel smith middleton",
+            "dave smith madison",
+        ]);
+        let tok = WhitespaceTokenizer::new();
+        for t in [0.3, 0.5, 0.8, 1.0] {
+            let fast = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(t));
+            let slow = naive(&left, &right, &tok, SetSimMeasure::Jaccard(t));
+            assert_eq!(pairs(&fast), slow, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn exact_threshold_one_means_equal_sets() {
+        let left = some(&["a b c", "x y"]);
+        let right = some(&["c b a", "x z"]);
+        let tok = WhitespaceTokenizer::new();
+        let out = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(1.0));
+        assert_eq!(pairs(&out), vec![(0, 0)]);
+        assert_eq!(out[0].sim, 1.0);
+    }
+
+    #[test]
+    fn qgram_join_finds_typos() {
+        let left = some(&["mississippi"]);
+        let right = some(&["mississipi", "minneapolis"]);
+        let tok = QgramTokenizer::as_set(3);
+        let out = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(0.6));
+        assert_eq!(pairs(&out), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn overlap_size_join() {
+        let left = some(&["a b c d", "a"]);
+        let right = some(&["c d e", "z"]);
+        let tok = WhitespaceTokenizer::new();
+        let out = set_sim_join(&left, &right, &tok, SetSimMeasure::OverlapSize(2));
+        assert_eq!(pairs(&out), vec![(0, 0)]);
+        assert_eq!(out[0].sim, 2.0);
+    }
+
+    #[test]
+    fn nulls_and_empties_never_match() {
+        let left: Vec<Option<String>> = vec![None, Some("   ".into()), Some("a".into())];
+        let right = some(&["a"]);
+        let tok = WhitespaceTokenizer::new();
+        let out = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(0.5));
+        assert_eq!(pairs(&out), vec![(2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let tok = WhitespaceTokenizer::new();
+        let l = some(&["a"]);
+        set_sim_join(&l, &l, &tok, SetSimMeasure::Jaccard(0.0));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        // Deterministic pseudo-random token soup.
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..200 {
+            let n = 1 + next() % 6;
+            let toks: Vec<String> = (0..n).map(|_| format!("t{}", next() % 40)).collect();
+            left.push(Some(toks.join(" ")));
+            let n = 1 + next() % 6;
+            let toks: Vec<String> = (0..n).map(|_| format!("t{}", next() % 40)).collect();
+            right.push(Some(toks.join(" ")));
+        }
+        let tok = WhitespaceTokenizer::new();
+        for measure in [
+            SetSimMeasure::Jaccard(0.6),
+            SetSimMeasure::Cosine(0.7),
+            SetSimMeasure::Dice(0.65),
+            SetSimMeasure::OverlapSize(2),
+        ] {
+            let mut serial = set_sim_join(&left, &right, &tok, measure);
+            serial.sort_unstable_by_key(|a| (a.l, a.r));
+            let par = set_sim_join_parallel(&left, &right, &tok, measure, 4);
+            assert_eq!(pairs(&serial), pairs(&par), "{measure:?}");
+        }
+    }
+
+    #[test]
+    fn cosine_and_dice_match_naive_on_random_soup() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mk = |next: &mut dyn FnMut() -> usize| -> Vec<Option<String>> {
+            (0..60)
+                .map(|_| {
+                    let n = 1 + next() % 5;
+                    Some(
+                        (0..n)
+                            .map(|_| format!("w{}", next() % 25))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    )
+                })
+                .collect()
+        };
+        let left = mk(&mut next);
+        let right = mk(&mut next);
+        let tok = WhitespaceTokenizer::new();
+        for measure in [SetSimMeasure::Cosine(0.6), SetSimMeasure::Dice(0.6)] {
+            let fast = set_sim_join(&left, &right, &tok, measure);
+            let mut fast = pairs(&fast);
+            fast.sort_unstable();
+            let mut slow = naive(&left, &right, &tok, measure);
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "{measure:?}");
+        }
+    }
+
+    #[test]
+    fn reported_similarity_is_exact() {
+        let left = some(&["a b c"]);
+        let right = some(&["b c d"]);
+        let tok = WhitespaceTokenizer::new();
+        let out = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(0.3));
+        assert_eq!(out.len(), 1);
+        assert!((out[0].sim - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! # magellan-simjoin
+//!
+//! Scalable string similarity joins: the Rust analog of Magellan's
+//! `py_stringsimjoin` package (Appendix A), which the paper notes was so
+//! broadly useful it ended up installed on Kaggle.
+//!
+//! Given two collections of strings, a tokenizer, a similarity measure, and
+//! a threshold, a join returns every cross pair whose similarity meets the
+//! threshold — without examining the full cross product. The classic
+//! filter-verify architecture is used:
+//!
+//! 1. **tokenize** both sides with set semantics and re-map tokens to
+//!    integer ids ordered rarest-first ([`collection`]);
+//! 2. **size filter**: discard pairs whose token-set sizes alone make the
+//!    threshold unreachable ([`filters`]);
+//! 3. **prefix filter**: index only each set's short *prefix* of rarest
+//!    tokens; pairs sharing no prefix token cannot reach the threshold
+//!    ([`filters`], [`index`]);
+//! 4. **verify**: compute the exact similarity on the surviving candidates
+//!    ([`join`]).
+//!
+//! Supported measures: Jaccard, cosine, Dice, absolute overlap
+//! ([`join::set_sim_join`]) and edit distance ([`editjoin::edit_distance_join`]).
+//! Every join has a multi-threaded variant used by the production-stage
+//! executor (crossbeam scoped threads — the paper's Dask role).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod editjoin;
+pub mod filters;
+pub mod index;
+pub mod join;
+
+pub use collection::TokenizedCollection;
+pub use join::{set_sim_join, set_sim_join_parallel, JoinPair, SetSimMeasure};

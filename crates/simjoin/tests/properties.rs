@@ -1,0 +1,104 @@
+//! Property tests: every sim-join must return *exactly* the pairs the naive
+//! cross-product verification returns — the filters may never drop a
+//! qualifying pair (no false negatives) nor admit an unqualified one after
+//! verification (no false positives).
+
+use magellan_simjoin::editjoin::edit_distance_join;
+use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_textsim::seqsim::levenshtein;
+use magellan_textsim::setsim;
+use magellan_textsim::tokenize::{Tokenizer, WhitespaceTokenizer};
+use proptest::prelude::*;
+
+fn strings() -> impl Strategy<Value = Vec<Option<String>>> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.9, "[ab]{0,3}( [ab]{1,3}){0,3}"),
+        1..25,
+    )
+}
+
+fn naive_set(
+    left: &[Option<String>],
+    right: &[Option<String>],
+    measure: SetSimMeasure,
+) -> Vec<(usize, usize)> {
+    let tok = WhitespaceTokenizer::new();
+    let mut out = Vec::new();
+    for (l, a) in left.iter().enumerate() {
+        for (r, b) in right.iter().enumerate() {
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            let ta = tok.tokenize(a);
+            let tb = tok.tokenize(b);
+            if ta.is_empty() || tb.is_empty() {
+                continue;
+            }
+            let ok = match measure {
+                SetSimMeasure::Jaccard(t) => setsim::jaccard(&ta, &tb) >= t - 1e-9,
+                SetSimMeasure::Cosine(t) => setsim::cosine(&ta, &tb) >= t - 1e-9,
+                SetSimMeasure::Dice(t) => setsim::dice(&ta, &tb) >= t - 1e-9,
+                SetSimMeasure::OverlapSize(c) => setsim::overlap_size(&ta, &tb) >= c,
+            };
+            if ok {
+                out.push((l, r));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jaccard_join_equals_naive(left in strings(), right in strings(), t in 0.05f64..1.0) {
+        let tok = WhitespaceTokenizer::new();
+        let fast: Vec<(usize, usize)> = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(t))
+            .into_iter().map(|p| (p.l, p.r)).collect();
+        prop_assert_eq!(fast, naive_set(&left, &right, SetSimMeasure::Jaccard(t)));
+    }
+
+    #[test]
+    fn cosine_join_equals_naive(left in strings(), right in strings(), t in 0.05f64..1.0) {
+        let tok = WhitespaceTokenizer::new();
+        let fast: Vec<(usize, usize)> = set_sim_join(&left, &right, &tok, SetSimMeasure::Cosine(t))
+            .into_iter().map(|p| (p.l, p.r)).collect();
+        prop_assert_eq!(fast, naive_set(&left, &right, SetSimMeasure::Cosine(t)));
+    }
+
+    #[test]
+    fn dice_join_equals_naive(left in strings(), right in strings(), t in 0.05f64..1.0) {
+        let tok = WhitespaceTokenizer::new();
+        let fast: Vec<(usize, usize)> = set_sim_join(&left, &right, &tok, SetSimMeasure::Dice(t))
+            .into_iter().map(|p| (p.l, p.r)).collect();
+        prop_assert_eq!(fast, naive_set(&left, &right, SetSimMeasure::Dice(t)));
+    }
+
+    #[test]
+    fn overlap_join_equals_naive(left in strings(), right in strings(), c in 1usize..4) {
+        let tok = WhitespaceTokenizer::new();
+        let fast: Vec<(usize, usize)> = set_sim_join(&left, &right, &tok, SetSimMeasure::OverlapSize(c))
+            .into_iter().map(|p| (p.l, p.r)).collect();
+        prop_assert_eq!(fast, naive_set(&left, &right, SetSimMeasure::OverlapSize(c)));
+    }
+
+    #[test]
+    fn edit_join_equals_naive(
+        left in proptest::collection::vec(proptest::option::weighted(0.9, "[ab]{0,6}"), 1..20),
+        right in proptest::collection::vec(proptest::option::weighted(0.9, "[ab]{0,6}"), 1..20),
+        d in 0usize..3,
+    ) {
+        let fast: Vec<(usize, usize)> = edit_distance_join(&left, &right, d)
+            .into_iter().map(|p| (p.l, p.r)).collect();
+        let mut slow = Vec::new();
+        for (l, a) in left.iter().enumerate() {
+            for (r, b) in right.iter().enumerate() {
+                if let (Some(a), Some(b)) = (a, b) {
+                    if levenshtein(a, b) <= d {
+                        slow.push((l, r));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,213 @@
+//! Typed, nullable column storage.
+
+use crate::error::TableError;
+use crate::value::{Dtype, Value, ValueRef};
+use crate::Result;
+
+/// A single column of a [`crate::Table`]: one typed vector of nullable
+/// cells. Column-oriented storage keeps the hot EM loops (tokenize a string
+/// attribute, compare a numeric attribute) cache-friendly and allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+}
+
+impl Column {
+    /// An empty column of the given dtype with reserved capacity.
+    pub fn with_capacity(dtype: Dtype, cap: usize) -> Self {
+        match dtype {
+            Dtype::Bool => Column::Bool(Vec::with_capacity(cap)),
+            Dtype::Int => Column::Int(Vec::with_capacity(cap)),
+            Dtype::Float => Column::Float(Vec::with_capacity(cap)),
+            Dtype::Str => Column::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The dtype of the column.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            Column::Bool(_) => Dtype::Bool,
+            Column::Int(_) => Dtype::Int,
+            Column::Float(_) => Dtype::Float,
+            Column::Str(_) => Dtype::Str,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the cell at `row`.
+    pub fn get(&self, row: usize) -> ValueRef<'_> {
+        match self {
+            Column::Bool(v) => v[row].map_or(ValueRef::Null, ValueRef::Bool),
+            Column::Int(v) => v[row].map_or(ValueRef::Null, ValueRef::Int),
+            Column::Float(v) => v[row].map_or(ValueRef::Null, ValueRef::Float),
+            Column::Str(v) => v[row]
+                .as_deref()
+                .map_or(ValueRef::Null, ValueRef::Str),
+        }
+    }
+
+    /// Append a value, enforcing the dtype. `Value::Null` fits any column.
+    pub fn push(&mut self, value: Value, column_name: &str) -> Result<()> {
+        match (self, value) {
+            (Column::Bool(v), Value::Bool(b)) => v.push(Some(b)),
+            (Column::Int(v), Value::Int(i)) => v.push(Some(i)),
+            (Column::Float(v), Value::Float(f)) => v.push(Some(f)),
+            // Int literals are accepted into float columns; EM feature tables
+            // are float-typed but generators often produce whole numbers.
+            (Column::Float(v), Value::Int(i)) => v.push(Some(i as f64)),
+            (Column::Str(v), Value::Str(s)) => v.push(Some(s)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Str(v), Value::Null) => v.push(None),
+            (col, value) => {
+                return Err(TableError::TypeMismatch {
+                    column: column_name.to_owned(),
+                    expected: col.dtype(),
+                    found: value.dtype().expect("null handled above"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the cell at `row`.
+    pub fn set(&mut self, row: usize, value: Value, column_name: &str) -> Result<()> {
+        match (self, value) {
+            (Column::Bool(v), Value::Bool(b)) => v[row] = Some(b),
+            (Column::Int(v), Value::Int(i)) => v[row] = Some(i),
+            (Column::Float(v), Value::Float(f)) => v[row] = Some(f),
+            (Column::Float(v), Value::Int(i)) => v[row] = Some(i as f64),
+            (Column::Str(v), Value::Str(s)) => v[row] = Some(s),
+            (Column::Bool(v), Value::Null) => v[row] = None,
+            (Column::Int(v), Value::Null) => v[row] = None,
+            (Column::Float(v), Value::Null) => v[row] = None,
+            (Column::Str(v), Value::Null) => v[row] = None,
+            (col, value) => {
+                return Err(TableError::TypeMismatch {
+                    column: column_name.to_owned(),
+                    expected: col.dtype(),
+                    found: value.dtype().expect("null handled above"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Int(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|c| c.is_none()).count(),
+        }
+    }
+
+    /// A new column containing the cells at `rows`, in order. Indices may
+    /// repeat (sampling with replacement) and must be in bounds.
+    pub fn take(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Bool(v) => Column::Bool(rows.iter().map(|&r| v[r]).collect()),
+            Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r]).collect()),
+            Column::Float(v) => Column::Float(rows.iter().map(|&r| v[r]).collect()),
+            Column::Str(v) => Column::Str(rows.iter().map(|&r| v[r].clone()).collect()),
+        }
+    }
+
+    /// Direct access to string cells (hot path for tokenizers/blockers).
+    pub fn as_str_slice(&self) -> Option<&[Option<String>]> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to integer cells.
+    pub fn as_int_slice(&self) -> Option<&[Option<i64>]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to float cells.
+    pub fn as_float_slice(&self) -> Option<&[Option<f64>]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::with_capacity(Dtype::Str, 2);
+        c.push(Value::from("x"), "s").unwrap();
+        c.push(Value::Null, "s").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), ValueRef::Str("x"));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::with_capacity(Dtype::Int, 1);
+        let err = c.push(Value::from("oops"), "n").unwrap_err();
+        assert!(matches!(err, TableError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::with_capacity(Dtype::Float, 1);
+        c.push(Value::Int(3), "f").unwrap();
+        assert_eq!(c.get(0), ValueRef::Float(3.0));
+    }
+
+    #[test]
+    fn take_duplicates_and_reorders() {
+        let mut c = Column::with_capacity(Dtype::Int, 3);
+        for i in 0..3 {
+            c.push(Value::Int(i), "n").unwrap();
+        }
+        let t = c.take(&[2, 0, 2]);
+        assert_eq!(t.get(0), ValueRef::Int(2));
+        assert_eq!(t.get(1), ValueRef::Int(0));
+        assert_eq!(t.get(2), ValueRef::Int(2));
+    }
+
+    #[test]
+    fn set_overwrites_and_nulls() {
+        let mut c = Column::with_capacity(Dtype::Bool, 1);
+        c.push(Value::Bool(true), "b").unwrap();
+        c.set(0, Value::Null, "b").unwrap();
+        assert!(c.get(0).is_null());
+        assert!(c.set(0, Value::Int(1), "b").is_err());
+    }
+}

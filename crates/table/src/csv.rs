@@ -1,0 +1,425 @@
+//! CSV reading and writing (RFC-4180 subset).
+//!
+//! Hand-written rather than pulled in as a dependency: the guide's
+//! "read/write data" step needs only headered, comma-separated,
+//! double-quote-escaped files, and EM datasets routinely embed commas and
+//! quotes inside entity names, so quoting support is mandatory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{Dtype, Value};
+use crate::Result;
+
+/// Parse one CSV record starting at `line_no` (1-based, for diagnostics).
+/// Returns the fields. The input must be a full logical record; embedded
+/// newlines inside quotes are handled by the caller feeding joined lines.
+fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(ch),
+            }
+        } else {
+            match ch {
+                ',' => fields.push(std::mem::take(&mut cur)),
+                '"' => {
+                    if !cur.is_empty() {
+                        return Err(TableError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".to_owned(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                _ => cur.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// True if the record ends inside an open quoted field (i.e. the physical
+/// line must be joined with the next one).
+fn ends_inside_quotes(line: &str) -> bool {
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch == '"' {
+            if in_quotes && chars.peek() == Some(&'"') {
+                chars.next();
+            } else {
+                in_quotes = !in_quotes;
+            }
+        }
+    }
+    in_quotes
+}
+
+/// Read a headered CSV into a table, parsing every cell according to the
+/// provided schema. Empty cells become nulls.
+pub fn read_csv<R: Read>(
+    reader: R,
+    name: impl Into<String>,
+    schema: Schema,
+) -> Result<Table> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = lines
+        .next()
+        .transpose()?
+        .ok_or(TableError::Csv {
+            line: 1,
+            message: "empty input (missing header)".to_owned(),
+        })?;
+    let header = parse_record(&header_line, 1)?;
+    let expected: Vec<&str> = schema.names();
+    if header != expected {
+        return Err(TableError::Csv {
+            line: 1,
+            message: format!("header {header:?} does not match schema {expected:?}"),
+        });
+    }
+
+    let mut table = Table::new(name, schema);
+    let mut line_no = 1usize;
+    let mut pending: Option<String> = None;
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let record = match pending.take() {
+            Some(mut buf) => {
+                buf.push('\n');
+                buf.push_str(&line);
+                buf
+            }
+            None => line,
+        };
+        if ends_inside_quotes(&record) {
+            pending = Some(record);
+            continue;
+        }
+        // A blank line is skippable noise for multi-column schemas, but
+        // for a single-column schema it *is* a record (one null cell) —
+        // exactly what the writer emits for such a row.
+        if record.is_empty() && table.ncols() > 1 {
+            continue;
+        }
+        let fields = parse_record(&record, line_no)?;
+        if fields.len() != table.ncols() {
+            return Err(TableError::Csv {
+                line: line_no,
+                message: format!(
+                    "record has {} fields, schema has {} columns",
+                    fields.len(),
+                    table.ncols()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, decl) in fields.into_iter().zip(table.schema().fields().to_vec()) {
+            row.push(parse_cell(&field, decl.dtype, line_no)?);
+        }
+        table.push_row(row)?;
+    }
+    if pending.is_some() {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field at end of input".to_owned(),
+        });
+    }
+    Ok(table)
+}
+
+/// Read a headered CSV file from disk.
+pub fn read_csv_path(path: impl AsRef<Path>, schema: Schema) -> Result<Table> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "table".to_owned());
+    read_csv(file, name, schema)
+}
+
+fn parse_cell(raw: &str, dtype: Dtype, line_no: usize) -> Result<Value> {
+    if raw.is_empty() {
+        return Ok(Value::Null);
+    }
+    let parsed = match dtype {
+        Dtype::Bool => raw.parse::<bool>().map(Value::Bool).ok(),
+        Dtype::Int => raw.parse::<i64>().map(Value::Int).ok(),
+        Dtype::Float => raw.parse::<f64>().map(Value::Float).ok(),
+        Dtype::Str => Some(Value::Str(raw.to_owned())),
+    };
+    parsed.ok_or_else(|| TableError::Csv {
+        line: line_no,
+        message: format!("cannot parse `{raw}` as {dtype}"),
+    })
+}
+
+/// Read a headered CSV and *infer* each column's dtype from its contents:
+/// a column is `Int` if every non-empty cell parses as `i64`, else `Float`
+/// if every non-empty cell parses as `f64`, else `Bool` if every cell is
+/// `true`/`false`, else `Str`. All-empty columns default to `Str`.
+pub fn read_csv_infer<R: Read>(reader: R, name: impl Into<String>) -> Result<Table> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = lines.next().transpose()?.ok_or(TableError::Csv {
+        line: 1,
+        message: "empty input (missing header)".to_owned(),
+    })?;
+    let header = parse_record(&header_line, 1)?;
+
+    // Materialize all records first (type inference needs a full pass).
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut line_no = 1usize;
+    let mut pending: Option<String> = None;
+    for line in lines {
+        let line = line?;
+        line_no += 1;
+        let record = match pending.take() {
+            Some(mut buf) => {
+                buf.push('\n');
+                buf.push_str(&line);
+                buf
+            }
+            None => line,
+        };
+        if ends_inside_quotes(&record) {
+            pending = Some(record);
+            continue;
+        }
+        if record.is_empty() && header.len() > 1 {
+            continue; // blank line (single-column schemas treat it as a null cell)
+        }
+        let fields = parse_record(&record, line_no)?;
+        if fields.len() != header.len() {
+            return Err(TableError::Csv {
+                line: line_no,
+                message: format!(
+                    "record has {} fields, header has {} columns",
+                    fields.len(),
+                    header.len()
+                ),
+            });
+        }
+        records.push(fields);
+    }
+    if pending.is_some() {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field at end of input".to_owned(),
+        });
+    }
+
+    let infer = |col: usize| -> Dtype {
+        let cells = records.iter().map(|r| r[col].as_str()).filter(|c| !c.is_empty());
+        let mut any = false;
+        let (mut int_ok, mut float_ok, mut bool_ok) = (true, true, true);
+        for c in cells {
+            any = true;
+            int_ok = int_ok && c.parse::<i64>().is_ok();
+            float_ok = float_ok && c.parse::<f64>().is_ok();
+            bool_ok = bool_ok && c.parse::<bool>().is_ok();
+        }
+        if !any {
+            Dtype::Str
+        } else if int_ok {
+            Dtype::Int
+        } else if float_ok {
+            Dtype::Float
+        } else if bool_ok {
+            Dtype::Bool
+        } else {
+            Dtype::Str
+        }
+    };
+    let fields: Vec<crate::schema::Field> = header
+        .iter()
+        .enumerate()
+        .map(|(c, name)| crate::schema::Field::new(name.clone(), infer(c)))
+        .collect();
+    let schema = Schema::new(fields)?;
+    let mut table = Table::with_capacity(name, schema, records.len());
+    for (i, rec) in records.into_iter().enumerate() {
+        let row: Vec<Value> = rec
+            .into_iter()
+            .enumerate()
+            .map(|(c, cell)| parse_cell(&cell, table.schema().field(c).dtype, i + 2))
+            .collect::<Result<_>>()?;
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Quote a field if it contains a delimiter, quote, or newline.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Write a table as headered CSV. Nulls are written as empty cells.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
+    let header: Vec<String> = table
+        .schema()
+        .names()
+        .iter()
+        .map(|n| escape(n))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for r in table.rows() {
+        let cells: Vec<String> = (0..table.ncols())
+            .map(|c| escape(&table.value(r, c).display_string()))
+            .collect();
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a table as headered CSV to a file path.
+pub fn write_csv_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(table, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueRef;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", Dtype::Str), ("name", Dtype::Str), ("n", Dtype::Int)])
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_with_quoting_and_nulls() {
+        let t = Table::from_rows(
+            "T",
+            &[("id", Dtype::Str), ("name", Dtype::Str), ("n", Dtype::Int)],
+            vec![
+                vec!["a1".into(), "Smith, David \"Dave\"".into(), Value::Int(4)],
+                vec!["a2".into(), Value::Null, Value::Null],
+                vec!["a3".into(), "multi\nline".into(), Value::Int(-1)],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), "T", schema()).unwrap();
+        assert_eq!(back.nrows(), 3);
+        assert_eq!(
+            back.value_by_name(0, "name").unwrap().as_str(),
+            Some("Smith, David \"Dave\"")
+        );
+        assert!(back.value_by_name(1, "name").unwrap().is_null());
+        assert_eq!(
+            back.value_by_name(2, "name").unwrap(),
+            ValueRef::Str("multi\nline")
+        );
+        assert_eq!(back.value_by_name(2, "n").unwrap().as_int(), Some(-1));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let data = "id,wrong,n\na1,x,1\n";
+        let err = read_csv(data.as_bytes(), "T", schema()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn bad_int_cell_reports_line() {
+        let data = "id,name,n\na1,x,1\na2,y,NaNope\n";
+        let err = read_csv(data.as_bytes(), "T", schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("NaNope"));
+    }
+
+    #[test]
+    fn ragged_record_is_rejected() {
+        let data = "id,name,n\na1,x\n";
+        assert!(read_csv(data.as_bytes(), "T", schema()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let data = "id,name,n\na1,\"open,1\n";
+        assert!(read_csv(data.as_bytes(), "T", schema()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let data = "id,name,n\na1,x,1\n\na2,y,2\n";
+        let t = read_csv(data.as_bytes(), "T", schema()).unwrap();
+        assert_eq!(t.nrows(), 2);
+    }
+
+    #[test]
+    fn empty_input_fails_cleanly() {
+        assert!(read_csv("".as_bytes(), "T", schema()).is_err());
+    }
+
+    #[test]
+    fn inference_detects_column_types() {
+        let data = "id,name,age,score,flag\na1,Dave,40,1.5,true\na2,Joe,,2.25,false\n";
+        let t = read_csv_infer(data.as_bytes(), "T").unwrap();
+        let types: Vec<Dtype> = t.schema().fields().iter().map(|f| f.dtype).collect();
+        assert_eq!(
+            types,
+            vec![Dtype::Str, Dtype::Str, Dtype::Int, Dtype::Float, Dtype::Bool]
+        );
+        assert_eq!(t.value_by_name(0, "age").unwrap().as_int(), Some(40));
+        assert!(t.value_by_name(1, "age").unwrap().is_null());
+        assert_eq!(t.value_by_name(1, "score").unwrap().as_float(), Some(2.25));
+        assert_eq!(t.value_by_name(0, "flag").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn inference_int_column_with_a_decimal_becomes_float() {
+        let data = "n\n1\n2.5\n3\n";
+        let t = read_csv_infer(data.as_bytes(), "T").unwrap();
+        assert_eq!(t.schema().field(0).dtype, Dtype::Float);
+        assert_eq!(t.value_by_name(0, "n").unwrap().as_float(), Some(1.0));
+    }
+
+    #[test]
+    fn inference_all_empty_column_is_string() {
+        let data = "a,b\nx,\ny,\n";
+        let t = read_csv_infer(data.as_bytes(), "T").unwrap();
+        assert_eq!(t.schema().field(1).dtype, Dtype::Str);
+        assert!(t.value_by_name(0, "b").unwrap().is_null());
+    }
+}

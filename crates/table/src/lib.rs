@@ -1,0 +1,41 @@
+//! # magellan-table
+//!
+//! The tabular substrate for the Magellan-rs EM ecosystem.
+//!
+//! The Magellan paper (SIGMOD '19, §4.1) stores all tables — the input
+//! tables `A` and `B`, candidate sets, labeled samples, feature-vector
+//! tables — in a *generic, well-known* tabular data structure so that every
+//! tool in the ecosystem interoperates. In PyData that structure is the
+//! pandas DataFrame; here it is [`Table`]: a typed, column-oriented,
+//! in-memory table with nullable cells.
+//!
+//! Because a generic table cannot carry EM-specific metadata (keys,
+//! key–foreign-key relationships between a candidate set and its base
+//! tables), Magellan keeps that metadata in a stand-alone [`catalog::Catalog`],
+//! and every command that *needs* a piece of metadata re-validates it before
+//! trusting it (the paper's "self-containment" principle). Both halves of
+//! that design are reproduced here, including the validation paths.
+//!
+//! The crate also provides RFC-4180-subset CSV I/O ([`csv`]) and dataset
+//! profiling ([`profile`]) used by the how-to guide's data-exploration step.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod profile;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{CandidateMeta, Catalog, TableMeta};
+pub use column::Column;
+pub use error::TableError;
+pub use schema::{Field, Schema};
+pub use table::{Table, TableId};
+pub use value::{Dtype, Value, ValueRef};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TableError>;

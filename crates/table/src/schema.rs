@@ -1,0 +1,154 @@
+//! Table schemas: ordered, uniquely named, typed fields.
+
+use crate::error::TableError;
+use crate::value::Dtype;
+use crate::Result;
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column data type.
+    pub dtype: Dtype,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: Dtype) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(TableError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Convenience constructor from `(name, dtype)` pairs.
+    pub fn from_pairs(pairs: &[(&str, Dtype)]) -> Result<Self> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, d)| Field::new(*n, *d))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Position of a column by name, as an error on miss.
+    pub fn try_index_of(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| TableError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Field at a position.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Field by name.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema containing only `names`, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field_by_name(n)
+                .ok_or_else(|| TableError::UnknownColumn((*n).to_owned()))?;
+            fields.push(f.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Append a field, rejecting duplicate names.
+    pub fn push(&mut self, field: Field) -> Result<()> {
+        if self.index_of(&field.name).is_some() {
+            return Err(TableError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_pairs(&[("a", Dtype::Int), ("b", Dtype::Str), ("c", Dtype::Float)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::from_pairs(&[("a", Dtype::Int), ("a", Dtype::Str)]).unwrap_err();
+        assert!(matches!(err, TableError::DuplicateColumn(n) if n == "a"));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.try_index_of("z").is_err());
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert_eq!(p.field(0).dtype, Dtype::Float);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn push_rejects_existing_name() {
+        let mut s = abc();
+        assert!(s.push(Field::new("a", Dtype::Bool)).is_err());
+        s.push(Field::new("d", Dtype::Bool)).unwrap();
+        assert_eq!(s.len(), 4);
+    }
+}

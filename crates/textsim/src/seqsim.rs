@@ -1,0 +1,326 @@
+//! Sequence-based string similarity measures.
+//!
+//! All `*_sim` functions return values in `[0, 1]` with 1 meaning identical;
+//! raw scores (edit distances, alignment scores) are exposed separately
+//! where the raw value is meaningful to feature generators.
+
+/// Levenshtein (edit) distance with unit costs, O(|a|·|b|) time and
+/// O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max_len`; 1.0 for two
+/// empty strings.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter_map(|(c, used)| used.then_some(*c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// maximum common-prefix credit of 4 characters.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1)
+}
+
+/// Jaro–Winkler with an explicit prefix scale (must be ≤ 0.25 to keep the
+/// result in `[0, 1]`).
+pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64) -> f64 {
+    debug_assert!((0.0..=0.25).contains(&prefix_scale));
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * prefix_scale * (1.0 - j)
+}
+
+/// Hamming distance; `None` when the strings differ in length.
+pub fn hamming(a: &str, b: &str) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    (a.len() == b.len()).then(|| a.iter().zip(&b).filter(|(x, y)| x != y).count())
+}
+
+/// Normalized Hamming similarity; `None` when lengths differ, 1.0 for two
+/// empty strings.
+pub fn hamming_sim(a: &str, b: &str) -> Option<f64> {
+    let n = a.chars().count();
+    let d = hamming(a, b)?;
+    Some(if n == 0 { 1.0 } else { 1.0 - d as f64 / n as f64 })
+}
+
+/// Needleman–Wunsch global alignment score with match = +1,
+/// mismatch = −1, gap = −1 (the `py_stringmatching` defaults are
+/// match 1 / mismatch 0 / gap −1; we expose the knobs).
+pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
+    needleman_wunsch_with(a, b, 1.0, 0.0, -1.0)
+}
+
+/// Needleman–Wunsch with explicit scores.
+pub fn needleman_wunsch_with(
+    a: &str,
+    b: &str,
+    match_score: f64,
+    mismatch_score: f64,
+    gap_cost: f64,
+) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<f64> = (0..=b.len()).map(|j| j as f64 * gap_cost).collect();
+    let mut cur = vec![0.0f64; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64 * gap_cost;
+        for (j, cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { match_score } else { mismatch_score };
+            cur[j + 1] = diag.max(prev[j + 1] + gap_cost).max(cur[j] + gap_cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Smith–Waterman local alignment score (match +1, mismatch −1, gap −1 by
+/// default; never negative).
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    smith_waterman_with(a, b, 1.0, -1.0, -1.0)
+}
+
+/// Smith–Waterman with explicit scores.
+pub fn smith_waterman_with(
+    a: &str,
+    b: &str,
+    match_score: f64,
+    mismatch_score: f64,
+    gap_cost: f64,
+) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev = vec![0.0f64; b.len() + 1];
+    let mut cur = vec![0.0f64; b.len() + 1];
+    let mut best = 0.0f64;
+    for ca in &a {
+        for (j, cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { match_score } else { mismatch_score };
+            let v = diag.max(prev[j + 1] + gap_cost).max(cur[j] + gap_cost).max(0.0);
+            cur[j + 1] = v;
+            best = best.max(v);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Affine-gap global alignment score (Gotoh): gap open / gap extend are
+/// charged separately so one long gap is cheaper than many short gaps.
+/// Defaults: match +1, mismatch −1, open −1, extend −0.5.
+pub fn affine_gap(a: &str, b: &str) -> f64 {
+    affine_gap_with(a, b, 1.0, -1.0, -1.0, -0.5)
+}
+
+/// Affine-gap alignment with explicit scores.
+pub fn affine_gap_with(
+    a: &str,
+    b: &str,
+    match_score: f64,
+    mismatch_score: f64,
+    gap_open: f64,
+    gap_extend: f64,
+) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let neg = f64::NEG_INFINITY;
+    let n = b.len();
+    // M = align, X = gap in b (consume a), Y = gap in a (consume b).
+    let mut m_prev = vec![neg; n + 1];
+    let mut x_prev = vec![neg; n + 1];
+    let mut y_prev = vec![neg; n + 1];
+    m_prev[0] = 0.0;
+    for (j, y) in y_prev.iter_mut().enumerate().skip(1) {
+        *y = gap_open + (j - 1) as f64 * gap_extend;
+    }
+    let mut m_cur = vec![neg; n + 1];
+    let mut x_cur = vec![neg; n + 1];
+    let mut y_cur = vec![neg; n + 1];
+    for (i, ca) in a.iter().enumerate() {
+        m_cur[0] = neg;
+        y_cur[0] = neg;
+        x_cur[0] = gap_open + i as f64 * gap_extend;
+        for (j, cb) in b.iter().enumerate() {
+            let s = if ca == cb { match_score } else { mismatch_score };
+            m_cur[j + 1] = s + m_prev[j].max(x_prev[j]).max(y_prev[j]);
+            x_cur[j + 1] = (m_prev[j + 1] + gap_open).max(x_prev[j + 1] + gap_extend);
+            y_cur[j + 1] = (m_cur[j] + gap_open).max(y_cur[j] + gap_extend);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
+    }
+    let best = m_prev[n].max(x_prev[n]).max(y_prev[n]);
+    if best == neg {
+        0.0 // both strings empty
+    } else {
+        best
+    }
+}
+
+/// Length of the longest common prefix.
+pub fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+/// Exact-match similarity: 1.0 iff equal.
+pub fn exact_match(a: &str, b: &str) -> f64 {
+    f64::from(a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+        let s = levenshtein_sim("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic textbook pairs.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444_444).abs() < 1e-6);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_666_666).abs() < 1e-6);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111_111).abs() < 1e-6);
+        assert!((jaro_winkler("DWAYNE", "DUANE") - 0.84).abs() < 1e-6);
+        // Prefix credit never pushes above 1.
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn hamming_requires_equal_length() {
+        assert_eq!(hamming("karolin", "kathrin"), Some(3));
+        assert_eq!(hamming("abc", "ab"), None);
+        assert_eq!(hamming_sim("", ""), Some(1.0));
+        assert_eq!(hamming_sim("ab", "ab"), Some(1.0));
+    }
+
+    #[test]
+    fn needleman_wunsch_known_values() {
+        // Identical strings score match * len with default scores.
+        assert_eq!(needleman_wunsch("dva", "dva"), 3.0);
+        // One deletion costs one gap.
+        assert_eq!(needleman_wunsch_with("abc", "ac", 1.0, 0.0, -1.0), 1.0);
+        assert_eq!(needleman_wunsch("", ""), 0.0);
+        assert_eq!(needleman_wunsch("ab", ""), -2.0);
+    }
+
+    #[test]
+    fn smith_waterman_is_local_and_nonnegative() {
+        // Shared substring "ell" scores 3 despite different contexts.
+        assert_eq!(smith_waterman("hello", "yellow"), 4.0); // "ello"
+        assert_eq!(smith_waterman("abc", "xyz"), 0.0);
+        assert_eq!(smith_waterman("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn affine_gap_prefers_one_long_gap() {
+        // "abcdefg" vs "abcg": one 3-gap = open + 2*extend = -2.0; 4 matches = +4.
+        let s = affine_gap("abcdefg", "abcg");
+        assert!((s - 2.0).abs() < 1e-12);
+        // Same edits as separate gaps would be cheaper under linear cost only.
+        assert_eq!(affine_gap("", ""), 0.0);
+        let only_gaps = affine_gap("abc", "");
+        assert!((only_gaps - (-1.0 - 2.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_and_exact() {
+        assert_eq!(common_prefix_len("data", "database"), 4);
+        assert_eq!(common_prefix_len("x", "y"), 0);
+        assert_eq!(exact_match("a", "a"), 1.0);
+        assert_eq!(exact_match("a", "b"), 0.0);
+    }
+}

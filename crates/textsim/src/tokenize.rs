@@ -1,0 +1,294 @@
+//! Tokenizers.
+//!
+//! Every tokenizer can run in *bag* mode (keep duplicates, the default) or
+//! *set* mode (dedupe while preserving first-occurrence order), matching
+//! `py_stringmatching`'s `return_set` flag. Set mode is what the set-based
+//! similarity measures and the sim-join prefix filters consume.
+
+use std::collections::HashSet;
+
+/// A named tokenizer turning a string into tokens.
+pub trait Tokenizer: Send + Sync {
+    /// Tokenize `s`.
+    fn tokenize(&self, s: &str) -> Vec<String>;
+
+    /// A short, stable name used in generated feature names, e.g. `"3gram"`
+    /// (so features print as `jaccard(3gram(A.name), 3gram(B.name))`).
+    fn name(&self) -> String;
+}
+
+/// Dedupe tokens preserving first occurrence.
+fn dedupe(tokens: Vec<String>) -> Vec<String> {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(tokens.len());
+    let mut keep = vec![false; tokens.len()];
+    for (i, t) in tokens.iter().enumerate() {
+        // Safety note not needed: we only compare, lifetime bounded to loop.
+        if seen.insert(t.as_str()) {
+            keep[i] = true;
+        }
+    }
+    tokens
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+/// Split on Unicode whitespace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WhitespaceTokenizer {
+    /// Dedupe tokens (set semantics).
+    pub return_set: bool,
+}
+
+impl WhitespaceTokenizer {
+    /// Bag-semantics whitespace tokenizer.
+    pub fn new() -> Self {
+        Self { return_set: false }
+    }
+
+    /// Set-semantics whitespace tokenizer.
+    pub fn as_set() -> Self {
+        Self { return_set: true }
+    }
+}
+
+impl Tokenizer for WhitespaceTokenizer {
+    fn tokenize(&self, s: &str) -> Vec<String> {
+        let toks: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        if self.return_set {
+            dedupe(toks)
+        } else {
+            toks
+        }
+    }
+
+    fn name(&self) -> String {
+        "ws".to_owned()
+    }
+}
+
+/// Split on any of a fixed set of delimiter characters.
+#[derive(Debug, Clone)]
+pub struct DelimiterTokenizer {
+    delimiters: Vec<char>,
+    /// Dedupe tokens (set semantics).
+    pub return_set: bool,
+}
+
+impl DelimiterTokenizer {
+    /// Tokenizer splitting on the given delimiter characters.
+    pub fn new(delimiters: &[char]) -> Self {
+        Self {
+            delimiters: delimiters.to_vec(),
+            return_set: false,
+        }
+    }
+}
+
+impl Tokenizer for DelimiterTokenizer {
+    fn tokenize(&self, s: &str) -> Vec<String> {
+        let toks: Vec<String> = s
+            .split(|c: char| self.delimiters.contains(&c))
+            .filter(|t| !t.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if self.return_set {
+            dedupe(toks)
+        } else {
+            toks
+        }
+    }
+
+    fn name(&self) -> String {
+        let d: String = self.delimiters.iter().collect();
+        format!("delim[{d}]")
+    }
+}
+
+/// Maximal runs of ASCII-alphanumeric characters, lowercased.
+/// This is the tokenizer EM feature generators default to for noisy name
+/// fields: punctuation and case drift disappear.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphanumericTokenizer {
+    /// Dedupe tokens (set semantics).
+    pub return_set: bool,
+}
+
+impl AlphanumericTokenizer {
+    /// Bag-semantics alphanumeric tokenizer.
+    pub fn new() -> Self {
+        Self { return_set: false }
+    }
+
+    /// Set-semantics alphanumeric tokenizer.
+    pub fn as_set() -> Self {
+        Self { return_set: true }
+    }
+}
+
+impl Tokenizer for AlphanumericTokenizer {
+    fn tokenize(&self, s: &str) -> Vec<String> {
+        let mut toks = Vec::new();
+        let mut cur = String::new();
+        for ch in s.chars() {
+            if ch.is_ascii_alphanumeric() {
+                cur.extend(ch.to_lowercase());
+            } else if !cur.is_empty() {
+                toks.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            toks.push(cur);
+        }
+        if self.return_set {
+            dedupe(toks)
+        } else {
+            toks
+        }
+    }
+
+    fn name(&self) -> String {
+        "alnum".to_owned()
+    }
+}
+
+/// Character q-grams, optionally padded with `#`/`$` sentinels the way
+/// `py_stringmatching` pads (so that string prefixes/suffixes are
+/// distinguishable from interior substrings).
+#[derive(Debug, Clone, Copy)]
+pub struct QgramTokenizer {
+    /// Gram size (≥ 1).
+    pub q: usize,
+    /// Pad with `q-1` leading `#` and trailing `$` sentinels.
+    pub padded: bool,
+    /// Dedupe tokens (set semantics).
+    pub return_set: bool,
+}
+
+impl QgramTokenizer {
+    /// Padded bag-semantics q-gram tokenizer.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        Self {
+            q,
+            padded: true,
+            return_set: false,
+        }
+    }
+
+    /// Padded set-semantics q-gram tokenizer (what sim-joins consume).
+    pub fn as_set(q: usize) -> Self {
+        Self {
+            return_set: true,
+            ..Self::new(q)
+        }
+    }
+
+    /// Unpadded variant.
+    pub fn unpadded(q: usize) -> Self {
+        Self {
+            padded: false,
+            ..Self::new(q)
+        }
+    }
+}
+
+impl Tokenizer for QgramTokenizer {
+    fn tokenize(&self, s: &str) -> Vec<String> {
+        let mut chars: Vec<char> = Vec::with_capacity(s.len() + 2 * (self.q - 1));
+        if self.padded {
+            chars.extend(std::iter::repeat_n('#', self.q - 1));
+        }
+        chars.extend(s.chars());
+        if self.padded {
+            chars.extend(std::iter::repeat_n('$', self.q - 1));
+        }
+        if chars.len() < self.q {
+            return Vec::new();
+        }
+        let toks: Vec<String> = chars
+            .windows(self.q)
+            .map(|w| w.iter().collect())
+            .collect();
+        if self.return_set {
+            dedupe(toks)
+        } else {
+            toks
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}gram", self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_bag_and_set() {
+        let bag = WhitespaceTokenizer::new();
+        assert_eq!(bag.tokenize("a  b a\tc"), vec!["a", "b", "a", "c"]);
+        let set = WhitespaceTokenizer::as_set();
+        assert_eq!(set.tokenize("a  b a\tc"), vec!["a", "b", "c"]);
+        assert!(bag.tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn delimiter_skips_empty_fields() {
+        let t = DelimiterTokenizer::new(&[',', ';']);
+        assert_eq!(t.tokenize("a,,b;c,"), vec!["a", "b", "c"]);
+        assert_eq!(t.name(), "delim[,;]");
+    }
+
+    #[test]
+    fn alphanumeric_lowercases_and_splits_on_punctuation() {
+        let t = AlphanumericTokenizer::new();
+        assert_eq!(
+            t.tokenize("O'Brien-Smith, J.R. (2nd)"),
+            vec!["o", "brien", "smith", "j", "r", "2nd"]
+        );
+        assert!(t.tokenize("!!!").is_empty());
+    }
+
+    #[test]
+    fn qgram_padded() {
+        let t = QgramTokenizer::new(3);
+        assert_eq!(
+            t.tokenize("ab"),
+            vec!["##a", "#ab", "ab$", "b$$"]
+        );
+        assert_eq!(t.name(), "3gram");
+    }
+
+    #[test]
+    fn qgram_unpadded_short_string_yields_nothing() {
+        let t = QgramTokenizer::unpadded(3);
+        assert!(t.tokenize("ab").is_empty());
+        assert_eq!(t.tokenize("abc"), vec!["abc"]);
+        assert_eq!(t.tokenize("abcd"), vec!["abc", "bcd"]);
+    }
+
+    #[test]
+    fn qgram_set_mode_dedupes() {
+        let t = QgramTokenizer::as_set(2);
+        // "aaa" padded: #a aa aa a$ -> dedupe keeps first "aa"
+        assert_eq!(t.tokenize("aaa"), vec!["#a", "aa", "a$"]);
+    }
+
+    #[test]
+    fn qgram_handles_multibyte_chars() {
+        let t = QgramTokenizer::unpadded(2);
+        assert_eq!(t.tokenize("héllo").len(), 4);
+    }
+
+    #[test]
+    fn empty_string_is_empty_tokens() {
+        assert!(WhitespaceTokenizer::new().tokenize("").is_empty());
+        assert!(AlphanumericTokenizer::new().tokenize("").is_empty());
+        // padded 1-gram of "" is empty: no chars.
+        assert!(QgramTokenizer::new(1).tokenize("").is_empty());
+    }
+}

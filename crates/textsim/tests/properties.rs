@@ -1,0 +1,118 @@
+//! Property-based tests for the similarity measures: bounds, symmetry,
+//! identity, and triangle-style relations that every downstream tool
+//! (blockers, feature generators, sim-joins) relies on.
+
+use magellan_textsim::seqsim::*;
+use magellan_textsim::setsim::*;
+use magellan_textsim::tokenize::{QgramTokenizer, Tokenizer, WhitespaceTokenizer};
+use magellan_textsim::TfIdfModel;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-d]{0,8}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-d]{1,5}", 0..5).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        let ab = levenshtein(&a, &b);
+        let ba = levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= ab + levenshtein(&b, &c));
+        // Distance bounded by longer length.
+        prop_assert!(ab <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn sequence_sims_bounded_and_symmetric(a in word(), b in word()) {
+        for f in [levenshtein_sim, jaro, jaro_winkler] {
+            let s1 = f(&a, &b);
+            let s2 = f(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&s1), "{} out of range", s1);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+        }
+        prop_assert_eq!(jaro(&a, &a), 1.0);
+        prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn set_sims_bounded_symmetric_reflexive(x in phrase(), y in phrase()) {
+        let tok = WhitespaceTokenizer::new();
+        let a = tok.tokenize(&x);
+        let b = tok.tokenize(&y);
+        for f in [jaccard::<String>, dice::<String>, cosine::<String>, overlap_coefficient::<String>] {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+            prop_assert_eq!(f(&a, &a), 1.0);
+        }
+        // Known dominance chain: jaccard <= dice <= overlap_coefficient.
+        prop_assert!(jaccard(&a, &b) <= dice(&a, &b) + 1e-12);
+        prop_assert!(dice(&a, &b) <= overlap_coefficient(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn qgram_tokenizer_padded_count(s in "[a-z]{0,12}", q in 1usize..5) {
+        let tok = QgramTokenizer::new(q);
+        let n = s.chars().count();
+        let toks = tok.tokenize(&s);
+        if n == 0 && q > 1 {
+            // padded empty string still yields q-1 grams of pure sentinels
+            prop_assert_eq!(toks.len(), q - 1);
+        } else if n == 0 {
+            prop_assert!(toks.is_empty());
+        } else {
+            prop_assert_eq!(toks.len(), n + q - 1);
+        }
+        for t in &toks {
+            prop_assert_eq!(t.chars().count(), q);
+        }
+    }
+
+    #[test]
+    fn tfidf_bounded_symmetric_reflexive(
+        docs in proptest::collection::vec(phrase(), 1..6),
+        x in phrase(),
+        y in phrase(),
+    ) {
+        let tok = WhitespaceTokenizer::new();
+        let corpus: Vec<Vec<String>> = docs.iter().map(|d| tok.tokenize(d)).collect();
+        let m = TfIdfModel::fit(&corpus);
+        let a = tok.tokenize(&x);
+        let b = tok.tokenize(&y);
+        let s = m.tfidf(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - m.tfidf(&b, &a)).abs() < 1e-9);
+        prop_assert!((m.tfidf(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monge_elkan_bounded(x in phrase(), y in phrase()) {
+        let tok = WhitespaceTokenizer::new();
+        let a = tok.tokenize(&x);
+        let b = tok.tokenize(&y);
+        let s = monge_elkan_jw(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((monge_elkan_jw(&a, &a) - 1.0).abs() < 1e-12 || a.is_empty());
+    }
+
+    #[test]
+    fn hamming_matches_manual_count(a in "[ab]{0,10}") {
+        // Same-length strings always have a Hamming distance; shifting one
+        // char changes distance by at most 1.
+        let b: String = a.chars().rev().collect();
+        let d = hamming(&a, &b).expect("equal length");
+        prop_assert!(d <= a.len());
+    }
+}

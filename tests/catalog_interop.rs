@@ -1,0 +1,98 @@
+//! The §4.1 interoperability story, across crates: generic tables flow
+//! through CSV I/O, the catalog carries key/FK metadata beside them, and
+//! self-contained commands detect metadata invalidated by tools that know
+//! nothing about the catalog.
+
+use magellan_block::{Blocker, OverlapBlocker};
+use magellan_datagen::domains::persons;
+use magellan_datagen::{DirtModel, ScenarioConfig};
+use magellan_table::{csv, Catalog, Schema, Value};
+
+fn scenario() -> magellan_datagen::EmScenario {
+    persons(&ScenarioConfig {
+        size_a: 120,
+        size_b: 120,
+        n_matches: 40,
+        dirt: DirtModel::light(),
+        seed: 8,
+    })
+}
+
+#[test]
+fn csv_roundtrip_preserves_generated_tables() {
+    let s = scenario();
+    let mut buf = Vec::new();
+    csv::write_csv(&s.table_a, &mut buf).unwrap();
+    let schema = Schema::new(s.table_a.schema().fields().to_vec()).unwrap();
+    let back = csv::read_csv(buf.as_slice(), "A", schema).unwrap();
+    assert_eq!(back.nrows(), s.table_a.nrows());
+    for r in 0..back.nrows() {
+        assert_eq!(back.row(r), s.table_a.row(r), "row {r} drifted");
+    }
+    // The reread table is a *different* table instance: catalog metadata
+    // does not silently transfer.
+    assert_ne!(back.id(), s.table_a.id());
+}
+
+#[test]
+fn candidate_table_fk_metadata_survives_the_full_chain() {
+    let s = scenario();
+    let mut catalog = Catalog::new();
+    catalog.set_key(&s.table_a, "id").unwrap();
+    catalog.set_key(&s.table_b, "id").unwrap();
+
+    let cands = OverlapBlocker::words("name", 1)
+        .block(&s.table_a, &s.table_b)
+        .unwrap();
+    let c = cands
+        .to_table("C", &s.table_a, &s.table_b, &mut catalog)
+        .unwrap();
+    catalog
+        .validate_candidate(&c, &s.table_a, &s.table_b)
+        .unwrap();
+    assert_eq!(c.schema().names(), vec!["l_id", "r_id"]);
+}
+
+#[test]
+fn catalog_detects_base_table_mutation_behind_its_back() {
+    let s = scenario();
+    let mut a = s.table_a.clone();
+    let mut catalog = Catalog::new();
+    catalog.set_key(&a, "id").unwrap();
+    catalog.set_key(&s.table_b, "id").unwrap();
+    let cands = OverlapBlocker::words("name", 1)
+        .block(&a, &s.table_b)
+        .unwrap();
+    let c = cands.to_table("C", &a, &s.table_b, &mut catalog).unwrap();
+
+    // A catalog-unaware tool appends a row duplicating an existing key —
+    // the pandas-style mutation of the paper's example.
+    let dup_key = a.value_by_name(0, "id").unwrap().to_owned();
+    let mut row = a.row(0);
+    row[0] = dup_key;
+    row[1] = Value::Str("impostor".into());
+    a.push_row(row).unwrap();
+
+    // Self-contained validation notices.
+    assert!(catalog.validate_key(&a).is_err());
+    assert!(catalog.validate_candidate(&c, &a, &s.table_b).is_err());
+}
+
+#[test]
+fn projection_does_not_inherit_metadata() {
+    let s = scenario();
+    let mut catalog = Catalog::new();
+    catalog.set_key(&s.table_a, "id").unwrap();
+    let projected = s.table_a.project(&["id", "name"]).unwrap();
+    // Fresh table id: no metadata until declared.
+    assert!(catalog.key(&projected).is_none());
+    catalog.set_key(&projected, "id").unwrap();
+    catalog.validate_key(&projected).unwrap();
+}
+
+#[test]
+fn profiling_flags_the_key_column() {
+    let s = scenario();
+    let keys = magellan_table::profile::key_candidates(&s.table_a);
+    assert!(keys.contains(&"id".to_owned()));
+}
