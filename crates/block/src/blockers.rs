@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_par::{ParConfig, ParStats};
+use magellan_simjoin::collection::TokenizedCollection;
+use magellan_simjoin::{join_tokenized_par, SetSimMeasure};
 use magellan_table::{Table, TableError};
 use magellan_textsim::tokenize::{AlphanumericTokenizer, Tokenizer};
 
@@ -16,6 +18,25 @@ pub trait Blocker: Send + Sync {
 
     /// Compute the candidate set.
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet>;
+
+    /// Compute the candidate set on the `magellan-par` work-stealing pool,
+    /// returning the region's [`ParStats`] counters alongside the set.
+    ///
+    /// The contract (enforced by `par_determinism`): the returned set is
+    /// **identical to [`Blocker::block`] for any worker count** — a
+    /// [`CandidateSet`] is sorted + deduplicated, so per-left-row candidate
+    /// generation can be chunked freely. The default implementation runs
+    /// serially (and reports empty counters); the built-in blockers
+    /// override it.
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
+        let _ = cfg;
+        Ok((self.block(a, b)?, ParStats::default()))
+    }
 }
 
 /// Pull the string rendering of an attribute for each row (`None` for
@@ -57,6 +78,15 @@ impl Blocker for AttrEquivalenceBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
         let la = column_strings(a, &self.l_attr)?;
         let rb = column_strings(b, &self.r_attr)?;
         let mut buckets: HashMap<String, Vec<u32>> = HashMap::new();
@@ -68,15 +98,20 @@ impl Blocker for AttrEquivalenceBlocker {
                     .push(r as u32);
             }
         }
-        let mut pairs = Vec::new();
-        for (l, v) in la.iter().enumerate() {
-            if let Some(v) = v {
-                if let Some(rs) = buckets.get(&v.trim().to_lowercase()) {
-                    pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+        // Per-left-row probe: pure per index, so chunk outputs merged in
+        // chunk order reproduce the serial pair stream exactly.
+        let (chunks, stats) = magellan_par::chunk_map(la.len(), cfg, |range| {
+            let mut pairs = Vec::new();
+            for l in range {
+                if let Some(v) = &la[l] {
+                    if let Some(rs) = buckets.get(&v.trim().to_lowercase()) {
+                        pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+                    }
                 }
             }
-        }
-        Ok(CandidateSet::new(pairs))
+            pairs
+        });
+        Ok((CandidateSet::new(chunks.into_iter().flatten().collect()), stats))
     }
 }
 
@@ -106,6 +141,15 @@ impl Blocker for HashBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
         if self.n_buckets == 0 {
             return Err(TableError::KeyViolation {
                 table: a.name().to_owned(),
@@ -124,15 +168,18 @@ impl Blocker for HashBlocker {
                     .push(r as u32);
             }
         }
-        let mut pairs = Vec::new();
-        for (l, v) in la.iter().enumerate() {
-            if let Some(v) = v {
-                if let Some(rs) = buckets.get(&bucket_of(v, self.n_buckets)) {
-                    pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+        let (chunks, stats) = magellan_par::chunk_map(la.len(), cfg, |range| {
+            let mut pairs = Vec::new();
+            for l in range {
+                if let Some(v) = &la[l] {
+                    if let Some(rs) = buckets.get(&bucket_of(v, self.n_buckets)) {
+                        pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+                    }
                 }
             }
-        }
-        Ok(CandidateSet::new(pairs))
+            pairs
+        });
+        Ok((CandidateSet::new(chunks.into_iter().flatten().collect()), stats))
     }
 }
 
@@ -173,22 +220,37 @@ impl Blocker for OverlapBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
         let la = column_strings(a, &self.l_attr)?;
         let rb = column_strings(b, &self.r_attr)?;
         let tokenizer: Box<dyn Tokenizer> = match self.qgram {
             Some(q) => Box::new(magellan_textsim::tokenize::QgramTokenizer::as_set(q)),
             None => Box::new(AlphanumericTokenizer::as_set()),
         };
-        let joined = set_sim_join(
-            &la,
-            &rb,
-            tokenizer.as_ref(),
+        // Tokenize once (serial), probe left rows over the pool; the join
+        // output is sorted by (l, r), so the pair stream is worker-count
+        // independent.
+        let coll = TokenizedCollection::build(&la, &rb, tokenizer.as_ref());
+        let (joined, stats) = join_tokenized_par(
+            &coll,
             SetSimMeasure::OverlapSize(self.overlap_size.max(1)),
+            cfg,
         );
-        Ok(joined
-            .into_iter()
-            .map(|p| (p.l as u32, p.r as u32))
-            .collect())
+        Ok((
+            joined
+                .into_iter()
+                .map(|p| (p.l as u32, p.r as u32))
+                .collect(),
+            stats,
+        ))
     }
 }
 
@@ -215,17 +277,30 @@ impl Blocker for SimJoinBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
         let la = column_strings(a, &self.l_attr)?;
         let rb = column_strings(b, &self.r_attr)?;
         let tokenizer: Box<dyn Tokenizer> = match self.qgram {
             Some(q) => Box::new(magellan_textsim::tokenize::QgramTokenizer::as_set(q)),
             None => Box::new(AlphanumericTokenizer::as_set()),
         };
-        let joined = set_sim_join(&la, &rb, tokenizer.as_ref(), self.measure);
-        Ok(joined
-            .into_iter()
-            .map(|p| (p.l as u32, p.r as u32))
-            .collect())
+        let coll = TokenizedCollection::build(&la, &rb, tokenizer.as_ref());
+        let (joined, stats) = join_tokenized_par(&coll, self.measure, cfg);
+        Ok((
+            joined
+                .into_iter()
+                .map(|p| (p.l as u32, p.r as u32))
+                .collect(),
+            stats,
+        ))
     }
 }
 
@@ -251,6 +326,15 @@ impl Blocker for SortedNeighborhoodBlocker {
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
         let la = column_strings(a, &self.l_attr)?;
         let rb = column_strings(b, &self.r_attr)?;
         // (key, side, row): side 0 = A, 1 = B. Nulls are skipped.
@@ -267,18 +351,23 @@ impl Blocker for SortedNeighborhoodBlocker {
         }
         entries.sort();
         let w = self.window.max(2);
-        let mut pairs = Vec::new();
-        for i in 0..entries.len() {
-            for j in (i + 1)..entries.len().min(i + w) {
-                let (x, y) = (&entries[i], &entries[j]);
-                match (x.1, y.1) {
-                    (0, 1) => pairs.push((x.2, y.2)),
-                    (1, 0) => pairs.push((y.2, x.2)),
-                    _ => {}
+        // Each window start `i` contributes an independent batch of pairs:
+        // chunk the starts over the pool, merge in chunk order.
+        let (chunks, stats) = magellan_par::chunk_map(entries.len(), cfg, |range| {
+            let mut pairs = Vec::new();
+            for i in range {
+                for j in (i + 1)..entries.len().min(i + w) {
+                    let (x, y) = (&entries[i], &entries[j]);
+                    match (x.1, y.1) {
+                        (0, 1) => pairs.push((x.2, y.2)),
+                        (1, 0) => pairs.push((y.2, x.2)),
+                        _ => {}
+                    }
                 }
             }
-        }
-        Ok(CandidateSet::new(pairs))
+            pairs
+        });
+        Ok((CandidateSet::new(chunks.into_iter().flatten().collect()), stats))
     }
 }
 
@@ -319,15 +408,28 @@ impl<F: Fn(&Table, usize, &Table, usize) -> bool + Send + Sync> Blocker for Blac
     }
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
-        let mut pairs = Vec::new();
-        for ra in a.rows() {
-            for rb in b.rows() {
-                if (self.keep)(a, ra, b, rb) {
-                    pairs.push((ra as u32, rb as u32));
+        Ok(self.block_par(a, b, &ParConfig::serial())?.0)
+    }
+
+    fn block_par(
+        &self,
+        a: &Table,
+        b: &Table,
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(CandidateSet, ParStats)> {
+        let n_b = b.nrows();
+        let (chunks, stats) = magellan_par::chunk_map(a.nrows(), cfg, |range| {
+            let mut pairs = Vec::new();
+            for ra in range {
+                for rb in 0..n_b {
+                    if (self.keep)(a, ra, b, rb) {
+                        pairs.push((ra as u32, rb as u32));
+                    }
                 }
             }
-        }
-        Ok(CandidateSet::new(pairs))
+            pairs
+        });
+        Ok((CandidateSet::new(chunks.into_iter().flatten().collect()), stats))
     }
 }
 

@@ -3,14 +3,21 @@
 //! §4.1: "We have developed tools that can execute these commands on a
 //! multi-core single machine, using customized code or Dask." This module
 //! is that Dask substitute: it runs a captured [`crate::EmWorkflow`] over
-//! the full tables, fanning the feature-extraction + predict loop out over
-//! crossbeam scoped threads, and reports per-phase wall-clock timings (the
-//! "Machine" time column of Table 2).
+//! the full tables on the `magellan-par` work-stealing pool, and reports
+//! per-phase wall-clock timings (the "Machine" time column of Table 2)
+//! *and* per-phase executor counters — pairs/sec, chunks stolen, and
+//! per-worker busy time ([`PhaseCounters`]).
+//!
+//! The executor inherits the pool's determinism contract: a production run
+//! produces **bit-identical matches for any worker count**, which is what
+//! lets the lab stage (small samples, one core) hand a workflow to the
+//! production stage (full tables, many cores) without re-validating it.
 
 use std::time::{Duration, Instant};
 
 use magellan_block::CandidateSet;
-use magellan_features::extract_feature_matrix;
+use magellan_features::extract_feature_matrix_par;
+use magellan_par::{ParConfig, ParStats};
 use magellan_table::Table;
 
 use crate::workflow::EmWorkflow;
@@ -31,6 +38,37 @@ impl PhaseTimings {
     }
 }
 
+/// Per-phase executor counters of a production run: the [`ParStats`] of
+/// every parallel region, folded per phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseCounters {
+    /// Blocking-phase counters (candidate generation / sim-join probes).
+    pub blocking: ParStats,
+    /// Matching-phase counters (feature extraction + prediction, merged).
+    pub matching: ParStats,
+}
+
+impl PhaseCounters {
+    /// Candidate pairs scored per second of matching wall-clock.
+    pub fn pairs_per_sec(&self) -> f64 {
+        self.matching.throughput()
+    }
+
+    /// Chunks executed by a worker other than their static-partition owner,
+    /// across both phases.
+    pub fn chunks_stolen(&self) -> usize {
+        self.blocking.chunks_stolen + self.matching.chunks_stolen
+    }
+
+    /// Per-worker busy time across both phases.
+    pub fn worker_busy(&self) -> Vec<Duration> {
+        let mut total = ParStats::default();
+        total.merge(&self.blocking);
+        total.merge(&self.matching);
+        total.worker_busy
+    }
+}
+
 /// Result of a production run.
 pub struct ProductionReport {
     /// Predicted matches.
@@ -39,6 +77,8 @@ pub struct ProductionReport {
     pub n_candidates: usize,
     /// Wall-clock per phase.
     pub timings: PhaseTimings,
+    /// Executor counters per phase.
+    pub counters: PhaseCounters,
     /// Worker threads used.
     pub n_workers: usize,
 }
@@ -46,7 +86,7 @@ pub struct ProductionReport {
 /// Multi-core workflow executor.
 #[derive(Debug, Clone, Copy)]
 pub struct ProductionExecutor {
-    /// Worker threads for the matching phase (≥ 1).
+    /// Worker threads for every phase (≥ 1).
     pub n_workers: usize,
 }
 
@@ -59,77 +99,53 @@ impl ProductionExecutor {
     }
 
     /// Run the workflow over full tables.
+    ///
+    /// Every phase runs on the `magellan-par` pool: blocking via
+    /// [`magellan_block::Blocker::block_par`], feature extraction via
+    /// [`extract_feature_matrix_par`], prediction via
+    /// [`magellan_par::map_indexed`]. The matches are identical for any
+    /// `n_workers` (see `crates/core/tests/par_determinism.rs`).
     pub fn run(
         &self,
         workflow: &EmWorkflow,
         a: &Table,
         b: &Table,
     ) -> magellan_table::Result<ProductionReport> {
+        let cfg = ParConfig::workers(self.n_workers);
+
         let t0 = Instant::now();
-        let candidates = workflow.blocker.block(a, b)?;
+        let (candidates, blocking_stats) = workflow.blocker.block_par(a, b, &cfg)?;
         let blocking = t0.elapsed();
 
         let t1 = Instant::now();
         let pairs = candidates.pairs();
-        let decisions = if self.n_workers == 1 || pairs.len() < 2 * self.n_workers {
-            let matrix = extract_feature_matrix(pairs, a, b, &workflow.features)?;
-            let predicted: Vec<bool> = matrix
-                .rows
-                .iter()
-                .map(|row| workflow.matcher.predict_proba(row) >= workflow.threshold)
-                .collect();
-            workflow
-                .rule_layer
-                .apply(&matrix, &predicted)
-                .into_iter()
-                .zip(pairs.iter().copied())
-                .filter_map(|(d, p)| d.then_some(p))
-                .collect::<Vec<_>>()
-        } else {
-            let chunk = pairs.len().div_ceil(self.n_workers);
-            let mut partials: Vec<magellan_table::Result<Vec<(u32, u32)>>> =
-                Vec::with_capacity(self.n_workers);
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = pairs
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move |_| -> magellan_table::Result<Vec<(u32, u32)>> {
-                            let matrix =
-                                extract_feature_matrix(slice, a, b, &workflow.features)?;
-                            let predicted: Vec<bool> = matrix
-                                .rows
-                                .iter()
-                                .map(|row| {
-                                    workflow.matcher.predict_proba(row) >= workflow.threshold
-                                })
-                                .collect();
-                            Ok(workflow
-                                .rule_layer
-                                .apply(&matrix, &predicted)
-                                .into_iter()
-                                .zip(slice.iter().copied())
-                                .filter_map(|(d, p)| d.then_some(p))
-                                .collect())
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    partials.push(h.join().expect("production worker panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            let mut out = Vec::new();
-            for p in partials {
-                out.extend(p?);
-            }
-            out
-        };
+        let (matrix, extract_stats) =
+            extract_feature_matrix_par(pairs, a, b, &workflow.features, &cfg)?;
+        let (predicted, predict_stats) = magellan_par::map_indexed(matrix.len(), &cfg, |i| {
+            workflow.matcher.predict_proba(&matrix.rows[i]) >= workflow.threshold
+        });
+        // The rule layer is a cheap per-row pass over the already-extracted
+        // matrix; it stays serial so its decisions are trivially ordered.
+        let decisions: Vec<(u32, u32)> = workflow
+            .rule_layer
+            .apply(&matrix, &predicted)
+            .into_iter()
+            .zip(pairs.iter().copied())
+            .filter_map(|(d, p)| d.then_some(p))
+            .collect();
         let matching = t1.elapsed();
+
+        let mut matching_stats = extract_stats;
+        matching_stats.merge(&predict_stats);
 
         Ok(ProductionReport {
             matches: CandidateSet::new(decisions),
             n_candidates: pairs.len(),
             timings: PhaseTimings { blocking, matching },
+            counters: PhaseCounters {
+                blocking: blocking_stats,
+                matching: matching_stats,
+            },
             n_workers: self.n_workers,
         })
     }
@@ -137,35 +153,13 @@ impl ProductionExecutor {
 
 /// A general parallel map over row chunks, exposed for workloads that
 /// don't fit the workflow shape (e.g. per-row cleaning in the guide's
-/// pre-processing step).
+/// pre-processing step). `out[i] == f(i)` for every worker count.
 pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(
     n: usize,
     n_workers: usize,
     f: F,
 ) -> Vec<T> {
-    let n_workers = n_workers.max(1);
-    if n_workers == 1 || n < 2 * n_workers {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(n_workers);
-    let mut partials: Vec<Vec<T>> = Vec::with_capacity(n_workers);
-    crossbeam::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..n_workers)
-            .map(|w| {
-                scope.spawn(move |_| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    (lo..hi).map(f).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("parallel_map worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    partials.into_iter().flatten().collect()
+    magellan_par::map_indexed(n, &ParConfig::workers(n_workers), f).0
 }
 
 #[cfg(test)]
@@ -214,6 +208,31 @@ mod tests {
         assert_eq!(serial.n_candidates, parallel.n_candidates);
         assert_eq!(parallel.n_workers, 4);
         assert!(serial.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn report_surfaces_phase_counters() {
+        let s = persons(&ScenarioConfig {
+            size_a: 200,
+            size_b: 200,
+            n_matches: 60,
+            dirt: DirtModel::light(),
+            seed: 5,
+        });
+        let wf = workflow();
+        let report = ProductionExecutor::new(3).run(&wf, &s.table_a, &s.table_b).unwrap();
+        // Blocking counters reflect the probe loop over table A's rows.
+        assert_eq!(report.counters.blocking.n_workers, 3);
+        assert_eq!(report.counters.blocking.items, 200);
+        assert!(report.counters.blocking.chunks_total >= 1);
+        // Matching counters fold extraction + prediction: both regions walk
+        // every candidate pair once.
+        assert_eq!(report.counters.matching.items, 2 * report.n_candidates);
+        assert_eq!(report.counters.matching.worker_busy.len(), 3);
+        assert!(report.counters.pairs_per_sec() >= 0.0);
+        assert!(report.counters.chunks_stolen() <= report.counters.blocking.chunks_total
+            + report.counters.matching.chunks_total);
+        assert_eq!(report.counters.worker_busy().len(), 3);
     }
 
     #[test]

@@ -25,6 +25,17 @@
 //! production-stage executor ([`exec`]) runs over the full tables on
 //! multiple cores (the role Dask plays in the paper).
 //!
+//! ## Parallel execution ([`par`])
+//!
+//! Every hot loop in the stack — blocking, sim-joins, feature extraction,
+//! forest training, batch prediction, active-learning scoring — runs on
+//! one shared work-stealing chunk executor, re-exported here as
+//! [`par`] (`magellan-par`). Its determinism contract: parallel output is
+//! **bit-identical to serial for any worker count**, enforced end to end
+//! by `crates/core/tests/par_determinism.rs`. [`exec::ProductionExecutor`]
+//! surfaces each phase's [`par::ParStats`] (pairs/sec, chunks stolen,
+//! per-worker busy time) in its [`exec::ProductionReport`].
+//!
 //! [`registry`] catalogs every user-facing command by guide step and
 //! origin, regenerating the paper's Table 3.
 
@@ -43,6 +54,8 @@ pub mod registry;
 pub mod rules;
 pub mod sample;
 pub mod workflow;
+
+pub use magellan_par as par;
 
 pub use labeling::{Label, Labeler, NoisyLabeler, OracleLabeler, RecordingLabeler};
 pub use pipeline::{DevConfig, DevReport};

@@ -3,6 +3,7 @@
 
 use magellan_features::FeatureMatrix;
 use magellan_ml::{Dataset, RandomForestClassifier, RandomForestLearner};
+use magellan_par::ParConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,6 +26,10 @@ pub struct ActiveLearnConfig {
     pub stop_entropy: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for committee training and pool scoring (the
+    /// outcome is **identical for any worker count**: both loops run on
+    /// the deterministic `magellan-par` executor).
+    pub n_workers: usize,
 }
 
 impl Default for ActiveLearnConfig {
@@ -36,6 +41,7 @@ impl Default for ActiveLearnConfig {
             n_trees: 10,
             stop_entropy: 0.05,
             seed: 7,
+            n_workers: 1,
         }
     }
 }
@@ -119,6 +125,7 @@ pub fn active_learn(
         RandomForestLearner {
             n_trees: cfg.n_trees,
             seed: cfg.seed ^ (round as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            n_workers: cfg.n_workers,
             ..Default::default()
         }
         .fit_forest(&data)
@@ -137,21 +144,26 @@ pub fn active_learn(
         // missing, lowest when negatives are).
         let min_class = 5.min(pool.len() / 4).max(1);
         let single_class = n_pos < min_class || n_neg < min_class;
-        let mut scored: Vec<(f64, usize)> = (0..n)
-            .filter(|&i| !is_labeled[i])
-            .map(|i| {
-                let score = if single_class {
-                    if n_pos < min_class {
-                        proxy_score(&pool.rows[i])
-                    } else {
-                        -proxy_score(&pool.rows[i])
-                    }
+        // Scoring the unlabeled pool dominates a round's cost; every score
+        // is a pure function of the row, so the loop runs on the pool and
+        // stays bit-identical for any worker count.
+        let par = ParConfig::workers(cfg.n_workers);
+        let (maybe_scored, _stats) = magellan_par::map_indexed(n, &par, |i| {
+            if is_labeled[i] {
+                return None;
+            }
+            let score = if single_class {
+                if n_pos < min_class {
+                    proxy_score(&pool.rows[i])
                 } else {
-                    forest.vote_entropy(&pool.rows[i])
-                };
-                (score, i)
-            })
-            .collect();
+                    -proxy_score(&pool.rows[i])
+                }
+            } else {
+                forest.vote_entropy(&pool.rows[i])
+            };
+            Some((score, i))
+        });
+        let mut scored: Vec<(f64, usize)> = maybe_scored.into_iter().flatten().collect();
         if scored.is_empty() {
             break;
         }
@@ -309,6 +321,36 @@ mod tests {
         };
         let outcome = active_learn(&pool, |i| i == 1, &ActiveLearnConfig::default());
         assert!(outcome.questions <= 3);
+    }
+
+    /// The whole active-learning session — seeding, committee training,
+    /// pool scoring, batch selection — is bit-identical for any worker
+    /// count: the same questions in the same order, the same rounds, and a
+    /// committee with the same scores.
+    #[test]
+    fn outcome_is_worker_count_invariant() {
+        let (pool, gold) = pool(7, 500);
+        let run = |w: usize| {
+            let cfg = ActiveLearnConfig {
+                n_workers: w,
+                ..Default::default()
+            };
+            active_learn(&pool, |i| gold[i], &cfg)
+        };
+        let reference = run(1);
+        for w in [2, 3, 7, 16] {
+            let outcome = run(w);
+            assert_eq!(outcome.labeled, reference.labeled, "{w} workers");
+            assert_eq!(outcome.questions, reference.questions);
+            assert_eq!(outcome.rounds, reference.rounds);
+            for i in 0..pool.len() {
+                assert_eq!(
+                    outcome.forest.predict_proba(&pool.rows[i]).to_bits(),
+                    reference.forest.predict_proba(&pool.rows[i]).to_bits(),
+                    "{w} workers diverged at row {i}"
+                );
+            }
+        }
     }
 
     #[test]

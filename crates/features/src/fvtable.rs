@@ -1,5 +1,6 @@
 //! Feature-vector extraction over candidate pairs.
 
+use magellan_par::{ParConfig, ParStats};
 use magellan_table::Table;
 
 use crate::feature::Feature;
@@ -46,6 +47,21 @@ pub fn extract_feature_matrix(
     b: &Table,
     features: &[Feature],
 ) -> magellan_table::Result<FeatureMatrix> {
+    extract_feature_matrix_par(pairs, a, b, features, &ParConfig::serial()).map(|(m, _)| m)
+}
+
+/// Parallel [`extract_feature_matrix`]: pair chunks are claimed by the
+/// `magellan-par` work-stealing pool and merged in chunk order, so the
+/// matrix is **bit-identical** to the serial extraction for any worker
+/// count (each row is a pure function of its pair). Also returns the
+/// region's [`ParStats`].
+pub fn extract_feature_matrix_par(
+    pairs: &[(u32, u32)],
+    a: &Table,
+    b: &Table,
+    features: &[Feature],
+    cfg: &ParConfig,
+) -> magellan_table::Result<(FeatureMatrix, ParStats)> {
     let l_idx: Vec<usize> = features
         .iter()
         .map(|f| a.schema().try_index_of(&f.l_attr))
@@ -54,21 +70,24 @@ pub fn extract_feature_matrix(
         .iter()
         .map(|f| b.schema().try_index_of(&f.r_attr))
         .collect::<magellan_table::Result<_>>()?;
-    let mut rows = Vec::with_capacity(pairs.len());
-    for &(ra, rb) in pairs {
+    let (rows, stats) = magellan_par::map_indexed(pairs.len(), cfg, |p| {
+        let (ra, rb) = pairs[p];
         let mut row = Vec::with_capacity(features.len());
         for ((f, &li), &ri) in features.iter().zip(&l_idx).zip(&r_idx) {
             let va = a.value(ra as usize, li);
             let vb = b.value(rb as usize, ri);
             row.push(f.compute(va, vb));
         }
-        rows.push(row);
-    }
-    Ok(FeatureMatrix {
-        names: features.iter().map(|f| f.name.clone()).collect(),
-        rows,
-        pairs: pairs.to_vec(),
-    })
+        row
+    });
+    Ok((
+        FeatureMatrix {
+            names: features.iter().map(|f| f.name.clone()).collect(),
+            rows,
+            pairs: pairs.to_vec(),
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

@@ -30,5 +30,5 @@ pub mod types;
 
 pub use autogen::generate_features;
 pub use feature::{Feature, FeatureKind, TokSpecF};
-pub use fvtable::{extract_feature_matrix, FeatureMatrix};
+pub use fvtable::{extract_feature_matrix, extract_feature_matrix_par, FeatureMatrix};
 pub use types::{infer_attr_type, AttrType};

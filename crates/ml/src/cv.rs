@@ -94,6 +94,12 @@ pub fn cross_validate(learner: &dyn Learner, data: &Dataset, k: usize, seed: u64
 
 /// Cross-validate several learners and return the reports sorted by mean
 /// F1, best first — the guide's "select the best matcher" step.
+///
+/// Ties on mean F1 (common on small labeled samples, where every learner
+/// nails the same folds) break toward the larger
+/// [`Learner::ensemble_size`]: committees yield graded probabilities the
+/// production threshold calibration can actually tune, while a single
+/// tree's 0/1 scores leave it no operating point but 0.5.
 pub fn select_matcher(
     learners: &[&dyn Learner],
     data: &Dataset,
@@ -104,10 +110,17 @@ pub fn select_matcher(
         .iter()
         .map(|l| cross_validate(*l, data, k, seed))
         .collect();
+    let ensemble_size = |r: &CvReport| -> usize {
+        learners
+            .iter()
+            .find(|l| l.name() == r.learner)
+            .map_or(1, |l| l.ensemble_size())
+    };
     reports.sort_by(|a, b| {
         b.mean_f1()
             .partial_cmp(&a.mean_f1())
             .expect("F1 is finite")
+            .then_with(|| ensemble_size(b).cmp(&ensemble_size(a)))
             .then_with(|| a.learner.cmp(&b.learner))
     });
     reports

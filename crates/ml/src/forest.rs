@@ -9,6 +9,7 @@
 //! * active learning selects the unlabeled examples with the most
 //!   *disagreement* among trees (vote entropy), which again needs raw votes.
 
+use magellan_par::ParConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -36,6 +37,10 @@ pub struct RandomForestLearner {
     pub bootstrap: bool,
     /// RNG seed (bootstrap + per-tree feature sampling).
     pub seed: u64,
+    /// Worker threads for tree training (trees are independent, so the
+    /// trained forest is **identical for any worker count**: each tree's
+    /// RNG is derived from `(seed, tree index)`, never from scheduling).
+    pub n_workers: usize,
 }
 
 impl Default for RandomForestLearner {
@@ -49,6 +54,7 @@ impl Default for RandomForestLearner {
             max_features: None,
             bootstrap: true,
             seed: 7,
+            n_workers: 1,
         }
     }
 }
@@ -91,6 +97,13 @@ impl RandomForestClassifier {
         self.vote_fraction(row) >= alpha
     }
 
+    /// Parallel batch scoring: `out[i] == self.predict_proba(&rows[i])`
+    /// bit-identically for any worker count (rows are chunked over the
+    /// `magellan-par` pool and merged in order).
+    pub fn predict_proba_batch(&self, rows: &[Vec<f64>], cfg: &ParConfig) -> Vec<f64> {
+        predict_proba_batch(self, rows, cfg)
+    }
+
     /// Binary vote entropy in bits — the query-by-committee uncertainty
     /// active learning ranks unlabeled pairs by (max 1.0 at a 50/50 split).
     pub fn vote_entropy(&self, row: &[f64]) -> f64 {
@@ -126,10 +139,19 @@ impl Learner for RandomForestLearner {
     fn fit(&self, data: &Dataset) -> Box<dyn Classifier> {
         Box::new(self.fit_forest(data))
     }
+
+    fn ensemble_size(&self) -> usize {
+        self.n_trees
+    }
 }
 
 impl RandomForestLearner {
     /// Train and return the concrete forest type.
+    ///
+    /// Trees are trained on the `magellan-par` work-stealing pool when
+    /// `n_workers > 1`. Each tree's bootstrap and feature-sampling RNGs are
+    /// seeded from `(seed, tree index)` alone, so the forest is
+    /// bit-identical for any worker count.
     pub fn fit_forest(&self, data: &Dataset) -> RandomForestClassifier {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(self.n_trees >= 1, "forest needs at least one tree");
@@ -137,10 +159,13 @@ impl RandomForestLearner {
             .max_features
             .unwrap_or_else(|| (data.n_features() as f64).sqrt().ceil() as usize)
             .clamp(1, data.n_features());
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut trees = Vec::with_capacity(self.n_trees);
-        for t in 0..self.n_trees {
+        let cfg = ParConfig::workers(self.n_workers).with_chunk_size(1);
+        let (trees, _stats) = magellan_par::map_indexed(self.n_trees, &cfg, |t| {
             let sample: Vec<usize> = if self.bootstrap {
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_add((t as u64).wrapping_mul(0xA24BAED4963EE407)),
+                );
                 (0..data.len())
                     .map(|_| rng.gen_range(0..data.len()))
                     .collect()
@@ -158,10 +183,20 @@ impl RandomForestLearner {
                 max_features: Some(max_features),
                 seed: self.seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15),
             };
-            trees.push(learner.fit_tree(&bag));
-        }
+            learner.fit_tree(&bag)
+        });
         RandomForestClassifier { trees }
     }
+}
+
+/// Batch scoring of any [`Classifier`] over the `magellan-par` pool.
+/// `out[i] == clf.predict_proba(&rows[i])` for every worker count.
+pub fn predict_proba_batch(
+    clf: &dyn Classifier,
+    rows: &[Vec<f64>],
+    cfg: &ParConfig,
+) -> Vec<f64> {
+    magellan_par::map_indexed(rows.len(), cfg, |i| clf.predict_proba(&rows[i])).0
 }
 
 #[cfg(test)]
@@ -275,6 +310,7 @@ mod tests {
         }
         .fit_forest(&d);
         assert!(forest.predict(&[1.5]));
-        assert_eq!(forest.predict_proba(&[1.5]), 1.0);
+        // Every tree is a pure 2-example leaf: Laplace-smoothed 0.75 each.
+        assert_eq!(forest.predict_proba(&[1.5]), 0.75);
     }
 }

@@ -41,7 +41,7 @@ pub mod tree;
 
 pub use cv::{cross_validate, train_test_split, CvReport};
 pub use dataset::Dataset;
-pub use forest::{RandomForestClassifier, RandomForestLearner};
+pub use forest::{predict_proba_batch, RandomForestClassifier, RandomForestLearner};
 pub use linear::{LinearSvmLearner, LogisticRegressionLearner};
 pub use metrics::Metrics;
 pub use model::{Classifier, Learner};

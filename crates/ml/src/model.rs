@@ -24,6 +24,19 @@ pub trait Learner: Send + Sync {
 
     /// Train on a dataset.
     fn fit(&self, data: &Dataset) -> Box<dyn Classifier>;
+
+    /// Committee size of the produced classifier (1 for single models).
+    ///
+    /// Used as the tie-break in matcher selection: when cross-validation
+    /// cannot separate learners on F1, the pipeline prefers the larger
+    /// committee — ensembles produce the graded probabilities that the
+    /// production threshold calibration needs (a single tree's scores
+    /// cluster at 0/1, so no operating point above 0.5 filters anything),
+    /// and the paper's tools standardize on random forests (Falcon's
+    /// committee, the guide's default matcher).
+    fn ensemble_size(&self) -> usize {
+        1
+    }
 }
 
 /// A trivial constant classifier, useful as a baseline and for degenerate

@@ -222,15 +222,18 @@ impl DecisionTreeClassifier {
 }
 
 impl Classifier for DecisionTreeClassifier {
+    /// Laplace-smoothed leaf probability `(n_pos + 1) / (n + 2)`.
+    ///
+    /// Raw leaf fractions make single trees useless for threshold
+    /// calibration: most leaves are pure, so every score is 0 or 1 and no
+    /// operating point above 0.5 filters anything. Laplace smoothing (the
+    /// standard probability-estimation-tree correction) grades scores by
+    /// leaf support — a pure 2-example leaf scores 0.75, a pure 50-example
+    /// leaf 0.98 — while leaving the hard prediction untouched:
+    /// `(n_pos + 1) / (n + 2) ≥ 0.5  ⟺  2·n_pos ≥ n`.
     fn predict_proba(&self, row: &[f64]) -> f64 {
         match &self.nodes[self.leaf_for(row)] {
-            Node::Leaf { n, n_pos } => {
-                if *n == 0 {
-                    0.5
-                } else {
-                    *n_pos as f64 / *n as f64
-                }
-            }
+            Node::Leaf { n, n_pos } => (*n_pos as f64 + 1.0) / (*n as f64 + 2.0),
             Node::Split { .. } => unreachable!("leaf_for returns a leaf"),
         }
     }
@@ -443,7 +446,9 @@ mod tests {
         let d = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[true, true]);
         let tree = DecisionTreeLearner::default().fit_tree(&d);
         assert_eq!(tree.nodes().len(), 1);
-        assert_eq!(tree.predict_proba(&[0.5]), 1.0);
+        // Laplace-smoothed pure leaf of 2: (2 + 1) / (2 + 2).
+        assert_eq!(tree.predict_proba(&[0.5]), 0.75);
+        assert!(tree.predict(&[0.5]));
     }
 
     #[test]
@@ -547,13 +552,15 @@ mod tests {
     }
 
     #[test]
-    fn predict_proba_is_leaf_fraction() {
-        // Constant features -> single leaf with 1/4 positives.
+    fn predict_proba_is_smoothed_leaf_fraction() {
+        // Constant features -> single leaf with 1/4 positives; Laplace
+        // smoothing maps it to (1 + 1) / (4 + 2).
         let d = Dataset::from_rows(
             &[vec![1.0], vec![1.0], vec![1.0], vec![1.0]],
             &[true, false, false, false],
         );
         let tree = DecisionTreeLearner::default().fit_tree(&d);
-        assert_eq!(tree.predict_proba(&[1.0]), 0.25);
+        assert_eq!(tree.predict_proba(&[1.0]), 2.0 / 6.0);
+        assert!(!tree.predict(&[1.0]));
     }
 }

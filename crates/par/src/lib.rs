@@ -1,0 +1,385 @@
+//! # magellan-par — the shared work-stealing chunk executor
+//!
+//! The paper's production stage exists to "scale the resulting workflow out
+//! on multiple cores" (§4.1, Table 2). This crate is the substrate every
+//! Magellan hot path runs on: blocking, sim-joins, feature extraction,
+//! forest training, batch prediction, and Falcon's active-learning scoring
+//! all fan out through [`chunk_map`].
+//!
+//! ## Execution model
+//!
+//! The input index space `0..len` is cut into fixed chunks. Workers (the
+//! calling thread plus `n_workers - 1` scoped threads) *race on a shared
+//! atomic chunk cursor*: whoever is idle claims the next unprocessed chunk.
+//! This is work stealing in its simplest deterministic form — a fast worker
+//! "steals" chunks that static partitioning would have assigned to a slow
+//! one, so stragglers never serialize the tail of a phase.
+//!
+//! ## The determinism contract
+//!
+//! Every chunk's output is written into a slot indexed by chunk id and the
+//! slots are concatenated **in chunk order** after the scope joins. As long
+//! as the chunk function is a pure function of the index range (no shared
+//! mutable state, no RNG keyed on the worker), the merged output is
+//! **bit-identical to the serial run for any worker count and any chunk
+//! size** — `n_workers` and scheduling jitter can change only *who* computes
+//! a chunk and *when*, never *what* it computes or *where* it lands.
+//! `crates/core/tests/par_determinism.rs` enforces this end to end for
+//! every routed hot path.
+//!
+//! Callers opt in per crate:
+//!
+//! * `magellan-simjoin` — probe-side partitioning of `join_tokenized`;
+//! * `magellan-block` — per-left-row candidate generation via
+//!   `Blocker::block_par`;
+//! * `magellan-features` — pair chunks in `extract_feature_matrix_par`;
+//! * `magellan-ml` — per-tree forest training and batch `predict_proba`;
+//! * `magellan-falcon` — the example-scoring loop of active learning;
+//! * `magellan-core` — `ProductionExecutor` drives whole workflows and
+//!   surfaces the per-phase [`ParStats`] counters in its report.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a parallel region should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Worker threads, including the calling thread (≥ 1).
+    pub n_workers: usize,
+    /// Items per chunk; `None` picks a size that gives each worker several
+    /// chunks to steal (`len / (8 · n_workers)`, clamped to ≥ 1).
+    pub chunk_size: Option<usize>,
+}
+
+impl ParConfig {
+    /// Serial execution (one worker, everything in one chunk per default).
+    pub fn serial() -> Self {
+        ParConfig {
+            n_workers: 1,
+            chunk_size: None,
+        }
+    }
+
+    /// `n` workers with the default chunk policy.
+    pub fn workers(n: usize) -> Self {
+        ParConfig {
+            n_workers: n.max(1),
+            chunk_size: None,
+        }
+    }
+
+    /// Override the chunk size.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = Some(chunk.max(1));
+        self
+    }
+
+    /// Chunk size used for an input of `len` items.
+    pub fn effective_chunk_size(&self, len: usize) -> usize {
+        match self.chunk_size {
+            Some(c) => c.max(1),
+            // ~8 chunks per worker: enough slack for stealing to even out
+            // skew, few enough that per-chunk overhead stays invisible.
+            None => (len / (8 * self.n_workers)).max(1),
+        }
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig::serial()
+    }
+}
+
+/// Counters describing one parallel region — the instrumentation the
+/// production executor surfaces per phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParStats {
+    /// Workers that participated.
+    pub n_workers: usize,
+    /// Items in the input index space.
+    pub items: usize,
+    /// Chunks the input was cut into.
+    pub chunks_total: usize,
+    /// Chunks executed by a worker other than their static-partition owner
+    /// (the "stolen" work that dynamic scheduling moved off stragglers).
+    pub chunks_stolen: usize,
+    /// Busy wall-clock per worker (time inside the chunk function).
+    pub worker_busy: Vec<Duration>,
+    /// Wall-clock of the whole region, including merge.
+    pub elapsed: Duration,
+}
+
+impl ParStats {
+    /// Sum of per-worker busy time.
+    pub fn busy_total(&self) -> Duration {
+        self.worker_busy.iter().sum()
+    }
+
+    /// Items per second of wall-clock (0 when the region was instant).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.items as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel efficiency in `[0, 1]`: busy time ÷ (workers × wall-clock).
+    pub fn utilization(&self) -> f64 {
+        let denom = self.n_workers as f64 * self.elapsed.as_secs_f64();
+        if denom > 0.0 {
+            (self.busy_total().as_secs_f64() / denom).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another region's counters into this one (per-phase totals).
+    pub fn merge(&mut self, other: &ParStats) {
+        self.n_workers = self.n_workers.max(other.n_workers);
+        self.items += other.items;
+        self.chunks_total += other.chunks_total;
+        self.chunks_stolen += other.chunks_stolen;
+        if self.worker_busy.len() < other.worker_busy.len() {
+            self.worker_busy.resize(other.worker_busy.len(), Duration::ZERO);
+        }
+        for (mine, theirs) in self.worker_busy.iter_mut().zip(&other.worker_busy) {
+            *mine += *theirs;
+        }
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[derive(Default)]
+struct WorkerLog {
+    busy: Duration,
+    stolen: usize,
+}
+
+/// The static-partition owner of chunk `c` — used only to count steals.
+fn home_worker(chunk: usize, n_chunks: usize, n_workers: usize) -> usize {
+    debug_assert!(chunk < n_chunks);
+    chunk * n_workers / n_chunks
+}
+
+/// Map chunks of `0..len` through `f` on a work-stealing worker pool and
+/// return the per-chunk outputs **in chunk order** plus region counters.
+///
+/// `f` must be a pure function of its index range for the determinism
+/// contract to hold (see the crate docs).
+pub fn chunk_map<R, F>(len: usize, cfg: &ParConfig, f: F) -> (Vec<R>, ParStats)
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let t0 = Instant::now();
+    let n_workers = cfg.n_workers.max(1);
+    let chunk = cfg.effective_chunk_size(len);
+    let n_chunks = len.div_ceil(chunk);
+    let mut stats = ParStats {
+        n_workers,
+        items: len,
+        chunks_total: n_chunks,
+        chunks_stolen: 0,
+        worker_busy: vec![Duration::ZERO; n_workers],
+        elapsed: Duration::ZERO,
+    };
+    if len == 0 {
+        stats.elapsed = t0.elapsed();
+        return (Vec::new(), stats);
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let worker = |w: usize| -> WorkerLog {
+        let mut log = WorkerLog::default();
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            if home_worker(c, n_chunks, n_workers) != w {
+                log.stolen += 1;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(len);
+            let t = Instant::now();
+            let out = f(lo..hi);
+            log.busy += t.elapsed();
+            *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+        }
+        log
+    };
+
+    if n_workers == 1 {
+        let log = worker(0);
+        stats.worker_busy[0] = log.busy;
+        stats.chunks_stolen = log.stolen;
+    } else {
+        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..n_workers)
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
+            let mut logs = vec![worker(0)];
+            for h in handles {
+                logs.push(h.join().expect("par worker panicked"));
+            }
+            logs
+        });
+        for (w, log) in logs.into_iter().enumerate() {
+            stats.worker_busy[w] = log.busy;
+            stats.chunks_stolen += log.stolen;
+        }
+    }
+
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("every chunk claimed exactly once")
+        })
+        .collect();
+    stats.elapsed = t0.elapsed();
+    (out, stats)
+}
+
+/// Ordered parallel map over indices: `out[i] == f(i)` for all `i`,
+/// regardless of worker count.
+pub fn map_indexed<T, F>(len: usize, cfg: &ParConfig, f: F) -> (Vec<T>, ParStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (chunks, stats) = chunk_map(len, cfg, |range| range.map(&f).collect::<Vec<T>>());
+    (chunks.into_iter().flatten().collect(), stats)
+}
+
+/// Fallible ordered parallel map: first error (by index order) wins.
+pub fn try_map_indexed<T, E, F>(
+    len: usize,
+    cfg: &ParConfig,
+    f: F,
+) -> Result<(Vec<T>, ParStats), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let (chunks, stats) = chunk_map(len, cfg, |range| {
+        range.map(&f).collect::<Result<Vec<T>, E>>()
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_indexed_is_identity_ordered_for_any_worker_count() {
+        for n_workers in [1, 2, 3, 7, 16] {
+            for len in [0, 1, 2, 5, 97, 1000] {
+                let cfg = ParConfig::workers(n_workers);
+                let (out, stats) = map_indexed(len, &cfg, |i| i * 3 + 1);
+                assert_eq!(out, (0..len).map(|i| i * 3 + 1).collect::<Vec<_>>());
+                assert_eq!(stats.items, len);
+                assert_eq!(stats.n_workers, n_workers);
+                if len > 0 {
+                    assert_eq!(
+                        stats.chunks_total,
+                        len.div_ceil(cfg.effective_chunk_size(len))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_that_do_not_divide_len_still_cover_everything() {
+        for chunk in [1, 2, 3, 7, 100] {
+            let cfg = ParConfig::workers(4).with_chunk_size(chunk);
+            let (out, stats) = map_indexed(101, &cfg, |i| i);
+            assert_eq!(out, (0..101).collect::<Vec<_>>());
+            assert_eq!(stats.chunks_total, 101usize.div_ceil(chunk));
+        }
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        let cfg = ParConfig::workers(8).with_chunk_size(3);
+        let (_, _) = map_indexed(500, &cfg, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn try_map_propagates_first_error() {
+        let cfg = ParConfig::workers(4).with_chunk_size(2);
+        let r: Result<(Vec<usize>, ParStats), String> =
+            try_map_indexed(50, &cfg, |i| if i == 33 { Err(format!("boom {i}")) } else { Ok(i) });
+        assert_eq!(r.err(), Some("boom 33".to_owned()));
+        let ok: Result<(Vec<usize>, ParStats), String> =
+            try_map_indexed(10, &cfg, Ok);
+        assert_eq!(ok.unwrap().0, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let cfg = ParConfig::workers(4).with_chunk_size(8);
+        let (_, stats) = map_indexed(256, &cfg, |i| {
+            // A little real work so busy time registers.
+            (0..200).fold(i as u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        });
+        assert_eq!(stats.chunks_total, 32);
+        assert_eq!(stats.worker_busy.len(), 4);
+        assert!(stats.chunks_stolen <= stats.chunks_total);
+        assert!(stats.elapsed > Duration::ZERO);
+        assert!(stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ParStats {
+            n_workers: 2,
+            items: 10,
+            chunks_total: 5,
+            chunks_stolen: 1,
+            worker_busy: vec![Duration::from_millis(5), Duration::from_millis(3)],
+            elapsed: Duration::from_millis(6),
+        };
+        let b = ParStats {
+            n_workers: 4,
+            items: 6,
+            chunks_total: 2,
+            chunks_stolen: 0,
+            worker_busy: vec![Duration::from_millis(1); 4],
+            elapsed: Duration::from_millis(2),
+        };
+        a.merge(&b);
+        assert_eq!(a.n_workers, 4);
+        assert_eq!(a.items, 16);
+        assert_eq!(a.chunks_total, 7);
+        assert_eq!(a.worker_busy.len(), 4);
+        assert_eq!(a.elapsed, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn serial_config_is_the_default() {
+        assert_eq!(ParConfig::default(), ParConfig::serial());
+        assert_eq!(ParConfig::workers(0).n_workers, 1);
+    }
+}

@@ -1,5 +1,6 @@
 //! The filter-verify set-similarity join.
 
+use magellan_par::{ParConfig, ParStats};
 use magellan_textsim::tokenize::Tokenizer;
 
 use crate::collection::{overlap_sorted, TokenizedCollection};
@@ -182,8 +183,8 @@ fn probe_one(
 }
 
 /// Multi-threaded variant of [`set_sim_join`]: probes are partitioned
-/// across `n_workers` crossbeam scoped threads (the production-stage "Dask"
-/// role in the paper). Results are identical to the serial join.
+/// across the `magellan-par` work-stealing pool (the production-stage
+/// "Dask" role in the paper). Results are identical to the serial join.
 pub fn set_sim_join_parallel<S: AsRef<str> + Sync>(
     left: &[Option<S>],
     right: &[Option<S>],
@@ -202,47 +203,33 @@ pub fn join_tokenized_parallel(
     measure: SetSimMeasure,
     n_workers: usize,
 ) -> Vec<JoinPair> {
+    join_tokenized_par(coll, measure, &ParConfig::workers(n_workers)).0
+}
+
+/// Work-stealing probe-side join: left records are chunked, chunks are
+/// claimed dynamically by idle workers, and per-chunk outputs are merged in
+/// chunk order — the result is **bit-identical** to [`join_tokenized`] for
+/// any worker count (each probe is a pure function of its left record; the
+/// final `(l, r)` sort is independent of chunking). Also returns the
+/// region's [`ParStats`] counters.
+pub fn join_tokenized_par(
+    coll: &TokenizedCollection,
+    measure: SetSimMeasure,
+    cfg: &ParConfig,
+) -> (Vec<JoinPair>, ParStats) {
     measure.validate();
-    let n_workers = n_workers.max(1);
-    if n_workers == 1 || coll.left.len() < 2 * n_workers {
-        return join_tokenized(coll, measure);
-    }
     let index = PrefixIndex::build(&coll.right, |s| measure.prefix_len(s));
-    let chunk = coll.left.len().div_ceil(n_workers);
-    let mut results: Vec<Vec<JoinPair>> = Vec::with_capacity(n_workers);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|w| {
-                let index = &index;
-                let coll_ref = &*coll;
-                scope.spawn(move |_| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(coll_ref.left.len());
-                    let mut out = Vec::new();
-                    let mut stamps = vec![u32::MAX; coll_ref.right.len()];
-                    for l in lo..hi {
-                        probe_one(
-                            l,
-                            &coll_ref.left[l],
-                            coll_ref,
-                            index,
-                            measure,
-                            &mut stamps,
-                            &mut out,
-                        );
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("join worker panicked"));
+    let (chunks, stats) = magellan_par::chunk_map(coll.left.len(), cfg, |range| {
+        let mut out = Vec::new();
+        let mut stamps = vec![u32::MAX; coll.right.len()];
+        for l in range {
+            probe_one(l, &coll.left[l], coll, &index, measure, &mut stamps, &mut out);
         }
-    })
-    .expect("crossbeam scope");
-    let mut out: Vec<JoinPair> = results.into_iter().flatten().collect();
+        out
+    });
+    let mut out: Vec<JoinPair> = chunks.into_iter().flatten().collect();
     out.sort_unstable_by_key(|a| (a.l, a.r));
-    out
+    (out, stats)
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@
 //! Supported measures: Jaccard, cosine, Dice, absolute overlap
 //! ([`join::set_sim_join`]) and edit distance ([`editjoin::edit_distance_join`]).
 //! Every join has a multi-threaded variant used by the production-stage
-//! executor (crossbeam scoped threads — the paper's Dask role).
+//! executor (the `magellan-par` work-stealing pool — the paper's Dask
+//! role); parallel output is bit-identical to serial for any worker count.
 
 #![warn(missing_docs)]
 
@@ -33,4 +34,6 @@ pub mod index;
 pub mod join;
 
 pub use collection::TokenizedCollection;
-pub use join::{set_sim_join, set_sim_join_parallel, JoinPair, SetSimMeasure};
+pub use join::{
+    join_tokenized_par, set_sim_join, set_sim_join_parallel, JoinPair, SetSimMeasure,
+};

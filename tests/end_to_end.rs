@@ -199,3 +199,67 @@ fn single_table_dedup_end_to_end() {
     let m = evaluate_matches(&predicted, &t, &t, "id", "id", &gold).unwrap();
     assert!(m.f1() > 0.8, "dedup F1 {m}");
 }
+
+/// Golden end-to-end run: every number below is pinned on the fixed-seed
+/// products scenario. Any change to datagen, blocking, feature extraction,
+/// sampling, training, calibration, or the parallel executor that shifts
+/// one of these values is a behavioural change — review it deliberately
+/// and re-pin, never loosen the assertions to make the test pass.
+///
+/// The whole path is seeded and scheduling-free (the `magellan-par`
+/// determinism contract), so the values are stable across processes and
+/// worker counts; the test exercises both a serial and a parallel
+/// production run to prove it.
+#[test]
+fn golden_pymatcher_products_run_is_pinned() {
+    let s = scenario("products", 1);
+    assert_eq!(s.gold.len(), 160, "datagen drifted: gold size");
+
+    let features = generate_features(&s.table_a, &s.table_b, &["id"]).unwrap();
+    let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
+    let tree = DecisionTreeLearner::default();
+    let forest = RandomForestLearner {
+        n_trees: 10,
+        ..Default::default()
+    };
+    let learners: Vec<&dyn Learner> = vec![&tree, &forest];
+    let blockers: Vec<Box<dyn Blocker>> = vec![
+        Box::new(OverlapBlocker::words("title", 1)),
+        Box::new(AttrEquivalenceBlocker::on("brand")),
+    ];
+    let (workflow, report) = run_development_stage(
+        &s.table_a,
+        &s.table_b,
+        blockers,
+        features,
+        &learners,
+        &mut labeler,
+        &DevConfig::default(),
+    )
+    .unwrap();
+
+    // Development stage: label budget, matcher selection, operating point.
+    assert_eq!(report.questions, 460);
+    assert_eq!(report.chosen_matcher, "random_forest");
+    assert_eq!(workflow.threshold, 0.5);
+
+    // Production stage: candidate volume and match quality, identical for
+    // a serial and a parallel executor.
+    for workers in [1, 4] {
+        let prod = ProductionExecutor::new(workers)
+            .run(&workflow, &s.table_a, &s.table_b)
+            .unwrap();
+        assert_eq!(prod.n_candidates, 43_353, "{workers} workers");
+        assert_eq!(prod.matches.len(), 152, "{workers} workers");
+        let m = evaluate_matches(&prod.matches, &s.table_a, &s.table_b, "id", "id", &s.gold)
+            .unwrap();
+        assert_eq!((m.tp, m.fp, m.fn_), (152, 0, 8), "{workers} workers");
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 0.95);
+        assert!(
+            (m.f1() - 0.974_358_974_358_974_3).abs() < 1e-15,
+            "F1 {}",
+            m.f1()
+        );
+    }
+}
