@@ -73,7 +73,7 @@ pub fn debug_blocker(
     dropped.sort_by(|x, y| {
         y.sim
             .partial_cmp(&x.sim)
-            .expect("similarities are finite")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| (x.l_row, x.r_row).cmp(&(y.l_row, y.r_row)))
     });
     dropped.truncate(k);

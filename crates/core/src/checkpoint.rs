@@ -1,0 +1,493 @@
+//! Phase-level checkpointing for the production executor.
+//!
+//! §4.1's production stage runs for hours over full tables; a process
+//! death at hour three should not restart blocking from scratch. The
+//! executor therefore writes a durable [`Checkpoint`] after each phase —
+//! the candidate set after blocking, the match set when done — in a small
+//! line-oriented text format (`emckpt v1`), consistent with every other
+//! persistence surface in this workspace (workflows, models).
+//!
+//! The format is deliberately dumb: a corrupt or truncated checkpoint is
+//! a **fatal** [`MagellanError::Checkpoint`] (retrying cannot fix bad
+//! bytes), while an I/O blip during save/load is **transient** and the
+//! executor retries it under its [`magellan_faults::RetryPolicy`].
+//!
+//! Stores are pluggable via [`CheckpointStore`]: [`MemStore`] backs the
+//! chaos suite, [`FileStore`] backs real runs, and [`FlakyStore`] wraps
+//! either with seeded transient I/O faults from a
+//! [`magellan_faults::FaultPlan`] so the retry loop is exercised
+//! deterministically.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use magellan_faults::FaultPlan;
+
+use crate::error::MagellanError;
+
+/// The checkpointable phases of a production run, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Candidate generation over the two tables.
+    Blocking,
+    /// Feature extraction + prediction + rule layer.
+    Matching,
+}
+
+impl Phase {
+    /// Stable lowercase name used in checkpoints and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Blocking => "blocking",
+            Phase::Matching => "matching",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A durable snapshot of a production run after some phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Checkpoint {
+    /// Blocking finished: the candidate set survives a restart.
+    Blocked {
+        /// Candidate pairs `(a_row, b_row)` in blocker output order.
+        candidates: Vec<(u32, u32)>,
+    },
+    /// The whole run finished: the match set and candidate count survive.
+    Done {
+        /// Predicted match pairs in decision order.
+        matches: Vec<(u32, u32)>,
+        /// Candidate pairs that were examined.
+        n_candidates: usize,
+    },
+}
+
+impl Checkpoint {
+    /// The phase whose completion this checkpoint records.
+    pub fn phase(&self) -> Phase {
+        match self {
+            Checkpoint::Blocked { .. } => Phase::Blocking,
+            Checkpoint::Done { .. } => Phase::Matching,
+        }
+    }
+
+    /// Serialize to the `emckpt v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("emckpt v1\n");
+        match self {
+            Checkpoint::Blocked { candidates } => {
+                out.push_str("phase blocked\n");
+                write_pairs(&mut out, candidates);
+            }
+            Checkpoint::Done {
+                matches,
+                n_candidates,
+            } => {
+                out.push_str("phase done\n");
+                out.push_str(&format!("n_candidates {n_candidates}\n"));
+                write_pairs(&mut out, matches);
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the `emckpt v1` text format. Any deviation — wrong magic,
+    /// unknown phase, bad pair syntax, missing `end` — is a fatal
+    /// [`MagellanError::Checkpoint`] carrying the offending line number.
+    pub fn from_text(text: &str) -> Result<Checkpoint, MagellanError> {
+        let mut lines = text.lines().enumerate();
+        let (_, magic) = lines
+            .next()
+            .ok_or_else(|| corrupt(1, "empty checkpoint"))?;
+        if magic.trim() != "emckpt v1" {
+            return Err(corrupt(1, format!("bad magic `{magic}`")));
+        }
+        let (_, phase_line) = lines
+            .next()
+            .ok_or_else(|| corrupt(2, "missing phase line"))?;
+        let phase = phase_line
+            .trim()
+            .strip_prefix("phase ")
+            .ok_or_else(|| corrupt(2, format!("expected `phase ...`, got `{phase_line}`")))?;
+        match phase {
+            "blocked" => {
+                let candidates = read_pairs(&mut lines)?;
+                expect_end(&mut lines)?;
+                Ok(Checkpoint::Blocked { candidates })
+            }
+            "done" => {
+                let (no, line) = lines
+                    .next()
+                    .ok_or_else(|| corrupt(3, "missing n_candidates line"))?;
+                let n_candidates = line
+                    .trim()
+                    .strip_prefix("n_candidates ")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| {
+                        corrupt(no + 1, format!("expected `n_candidates <usize>`, got `{line}`"))
+                    })?;
+                let matches = read_pairs(&mut lines)?;
+                expect_end(&mut lines)?;
+                Ok(Checkpoint::Done {
+                    matches,
+                    n_candidates,
+                })
+            }
+            other => Err(corrupt(2, format!("unknown phase `{other}`"))),
+        }
+    }
+}
+
+fn write_pairs(out: &mut String, pairs: &[(u32, u32)]) {
+    out.push_str(&format!("pairs {}\n", pairs.len()));
+    for (a, b) in pairs {
+        out.push_str(&format!("{a} {b}\n"));
+    }
+}
+
+fn read_pairs<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Result<Vec<(u32, u32)>, MagellanError> {
+    let (no, header) = lines
+        .next()
+        .ok_or_else(|| corrupt(0, "missing pairs header"))?;
+    let n = header
+        .trim()
+        .strip_prefix("pairs ")
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| corrupt(no + 1, format!("expected `pairs <len>`, got `{header}`")))?;
+    let mut pairs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let (no, line) = lines
+            .next()
+            .ok_or_else(|| corrupt(0, "truncated pair list"))?;
+        let mut it = line.trim().split_whitespace();
+        let pair = (|| {
+            let a = it.next()?.parse::<u32>().ok()?;
+            let b = it.next()?.parse::<u32>().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            Some((a, b))
+        })()
+        .ok_or_else(|| corrupt(no + 1, format!("bad pair `{line}`")))?;
+        pairs.push(pair);
+    }
+    Ok(pairs)
+}
+
+fn expect_end<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Result<(), MagellanError> {
+    match lines.next() {
+        Some((_, l)) if l.trim() == "end" => Ok(()),
+        Some((no, l)) => Err(corrupt(no + 1, format!("expected `end`, got `{l}`"))),
+        None => Err(corrupt(0, "missing `end` terminator (truncated checkpoint)")),
+    }
+}
+
+fn corrupt(line: usize, msg: impl fmt::Display) -> MagellanError {
+    MagellanError::Checkpoint {
+        message: if line == 0 {
+            format!("corrupt checkpoint: {msg}")
+        } else {
+            format!("corrupt checkpoint at line {line}: {msg}")
+        },
+        transient: false,
+    }
+}
+
+/// Where checkpoints live. `save`/`load` may fail transiently (I/O);
+/// callers retry under a [`magellan_faults::RetryPolicy`]. `load`
+/// returning `Ok(None)` means "no checkpoint yet" — a fresh run.
+pub trait CheckpointStore {
+    /// Durably replace the stored checkpoint text.
+    fn save(&mut self, text: &str) -> Result<(), MagellanError>;
+    /// Read back the stored checkpoint text, if any.
+    fn load(&mut self) -> Result<Option<String>, MagellanError>;
+    /// Discard any stored checkpoint.
+    fn clear(&mut self) -> Result<(), MagellanError>;
+}
+
+/// In-memory store for tests and the chaos suite.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    text: Option<String>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// The raw stored text, for assertions.
+    pub fn raw(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+        self.text = Some(text.to_string());
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Option<String>, MagellanError> {
+        Ok(self.text.clone())
+    }
+
+    fn clear(&mut self) -> Result<(), MagellanError> {
+        self.text = None;
+        Ok(())
+    }
+}
+
+/// File-backed store: writes to a sibling temp file then renames, so a
+/// death mid-save leaves the previous checkpoint intact.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// Store at `path`. The parent directory must exist.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileStore { path: path.into() }
+    }
+
+    /// The checkpoint path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+        let tmp = self.path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    fn load(&mut self) -> Result<Option<String>, MagellanError> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn clear(&mut self) -> Result<(), MagellanError> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Wraps any store with seeded transient I/O failures drawn from a
+/// [`FaultPlan`], so checkpoint retry loops can be exercised
+/// deterministically. Each operation site (save/load/clear) fails for a
+/// bounded run of consecutive attempts, then succeeds — mirroring the
+/// plan's `max_failures_per_site` convergence guarantee.
+#[derive(Debug, Clone)]
+pub struct FlakyStore<S> {
+    /// The real store.
+    pub inner: S,
+    /// Where the injected faults come from.
+    pub plan: FaultPlan,
+    ops: [FlakyOp; 3],
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FlakyOp {
+    /// Distinct logical operation count (bumps on success).
+    op: u64,
+    /// Consecutive failed attempts of the current logical operation.
+    attempt: u32,
+}
+
+/// Operation sites for [`FlakyStore`]'s fault keying.
+const OP_SAVE: u64 = 0x5a;
+const OP_LOAD: u64 = 0x10;
+const OP_CLEAR: u64 = 0xc1;
+
+impl<S> FlakyStore<S> {
+    /// Wrap `inner`, drawing faults from `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FlakyStore {
+            inner,
+            plan,
+            ops: [FlakyOp::default(); 3],
+        }
+    }
+
+    /// Returns an injected transient error, or advances to success.
+    fn gate(&mut self, site: usize, tag: u64, what: &str) -> Result<(), MagellanError> {
+        let st = &mut self.ops[site];
+        if self.plan.io_fails(tag.wrapping_add(st.op << 8), st.attempt) {
+            st.attempt += 1;
+            return Err(MagellanError::Checkpoint {
+                message: format!("injected transient I/O failure during checkpoint {what}"),
+                transient: true,
+            });
+        }
+        st.attempt = 0;
+        st.op += 1;
+        Ok(())
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for FlakyStore<S> {
+    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+        self.gate(0, OP_SAVE, "save")?;
+        self.inner.save(text)
+    }
+
+    fn load(&mut self) -> Result<Option<String>, MagellanError> {
+        self.gate(1, OP_LOAD, "load")?;
+        self.inner.load()
+    }
+
+    fn clear(&mut self) -> Result<(), MagellanError> {
+        self.gate(2, OP_CLEAR, "clear")?;
+        self.inner.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_round_trips() {
+        let ck = Checkpoint::Blocked {
+            candidates: vec![(0, 1), (2, 3), (7, 7)],
+        };
+        assert_eq!(ck.phase(), Phase::Blocking);
+        let text = ck.to_text();
+        assert!(text.starts_with("emckpt v1\n"));
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), ck);
+    }
+
+    #[test]
+    fn done_round_trips() {
+        let ck = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9)],
+            n_candidates: 42,
+        };
+        assert_eq!(ck.phase(), Phase::Matching);
+        assert_eq!(Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
+        // Empty match set round-trips too.
+        let ck = Checkpoint::Done {
+            matches: vec![],
+            n_candidates: 0,
+        };
+        assert_eq!(Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_fatal_with_line_numbers() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("not a checkpoint\n", "bad magic"),
+            ("emckpt v1\n", "missing phase"),
+            ("emckpt v1\nphase warp\npairs 0\nend\n", "unknown phase"),
+            ("emckpt v1\nphase blocked\npairs two\nend\n", "pairs"),
+            ("emckpt v1\nphase blocked\npairs 2\n1 2\n", "truncated"),
+            ("emckpt v1\nphase blocked\npairs 1\n1 2 3\nend\n", "bad pair"),
+            ("emckpt v1\nphase blocked\npairs 1\nx y\nend\n", "bad pair"),
+            ("emckpt v1\nphase done\npairs 0\nend\n", "n_candidates"),
+            ("emckpt v1\nphase blocked\npairs 0\nEND\n", "expected `end`"),
+        ] {
+            let err = Checkpoint::from_text(text).unwrap_err();
+            assert!(err.fatal(), "{text:?} should be fatal");
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+        }
+        // Line numbers point at the offending line.
+        let err = Checkpoint::from_text("emckpt v1\nphase blocked\npairs 1\nbad\nend\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn mem_store_round_trips_and_clears() {
+        let mut s = MemStore::new();
+        assert!(s.load().unwrap().is_none());
+        s.save("hello").unwrap();
+        assert_eq!(s.load().unwrap().as_deref(), Some("hello"));
+        s.clear().unwrap();
+        assert!(s.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn file_store_round_trips_and_survives_missing_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "magellan-ckpt-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = FileStore::new(dir.join("run.emckpt"));
+        assert!(s.load().unwrap().is_none());
+        let ck = Checkpoint::Blocked {
+            candidates: vec![(3, 4)],
+        };
+        s.save(&ck.to_text()).unwrap();
+        let back = Checkpoint::from_text(&s.load().unwrap().unwrap()).unwrap();
+        assert_eq!(back, ck);
+        s.clear().unwrap();
+        assert!(s.load().unwrap().is_none());
+        s.clear().unwrap(); // idempotent
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flaky_store_fails_transiently_then_converges() {
+        let plan = FaultPlan {
+            io_error_per_mille: 1000, // every site draws at least one failure
+            ..FaultPlan::seeded(3)
+        };
+        let mut s = FlakyStore::new(MemStore::new(), plan);
+        let mut failures = 0u32;
+        let text = Checkpoint::Blocked { candidates: vec![] }.to_text();
+        loop {
+            match s.save(&text) {
+                Ok(()) => break,
+                Err(e) => {
+                    assert!(e.transient(), "injected I/O faults must be transient");
+                    failures += 1;
+                    assert!(failures <= plan.max_failures_per_site, "must converge");
+                }
+            }
+        }
+        assert!(failures >= 1, "per_mille=1000 should inject at least once");
+        // The same logical op retried is deterministic: a fresh store with
+        // the same plan fails the same number of times.
+        let mut s2 = FlakyStore::new(MemStore::new(), plan);
+        let mut failures2 = 0u32;
+        while s2.save(&text).is_err() {
+            failures2 += 1;
+        }
+        assert_eq!(failures, failures2);
+        // Load eventually works and returns what save stored.
+        let loaded = loop {
+            match s.load() {
+                Ok(v) => break v,
+                Err(e) => assert!(e.transient()),
+            }
+        };
+        assert_eq!(loaded.as_deref(), Some(text.as_str()));
+    }
+}

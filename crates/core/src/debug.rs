@@ -69,11 +69,11 @@ pub fn debug_matches(
         match kind {
             // FP: sort by value descending — the high sims that fooled us.
             MistakeKind::FalsePositive => {
-                feats.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"))
+                feats.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
             }
             // FN: ascending — the low sims that hid the match.
             MistakeKind::FalseNegative => {
-                feats.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                feats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             }
         }
         feats.truncate(top_k);
@@ -90,7 +90,7 @@ pub fn debug_matches(
     mistakes.sort_by(|a, b| {
         let da = (a.proba - threshold).abs();
         let db = (b.proba - threshold).abs();
-        db.partial_cmp(&da).expect("finite").then(a.row.cmp(&b.row))
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.row.cmp(&b.row))
     });
     mistakes
 }

@@ -13,14 +13,42 @@
 //! lets the lab stage (small samples, one core) hand a workflow to the
 //! production stage (full tables, many cores) without re-validating it.
 
+//!
+//! ## Self-healing runs ([`ProductionExecutor::run_with_recovery`])
+//!
+//! The fault-hardened entry point layers four defenses over the plain
+//! [`ProductionExecutor::run`]:
+//!
+//! * **panic containment** — each parallel region runs with a seeded
+//!   [`magellan_faults::FaultPlan`]'s chunk faults; contained panics,
+//!   recovered chunks, and worker deaths surface in
+//!   [`RecoveryTelemetry`];
+//! * **retries with backoff** — transient phase and checkpoint-store
+//!   failures retry under a [`RetryPolicy`] on a simulated clock;
+//! * **phase checkpointing** — the candidate set is durably saved after
+//!   blocking and the match set when done, via any
+//!   [`CheckpointStore`];
+//! * **resume** — a rerun after a kill picks up from the last durable
+//!   checkpoint and produces a **bit-identical** match set
+//!   (`crates/core/tests/chaos.rs` enforces this across seeds).
+
 use std::time::{Duration, Instant};
 
 use magellan_block::CandidateSet;
+use magellan_faults::{run_with_retry, FaultPlan, RetryPolicy, SimClock};
 use magellan_features::extract_feature_matrix_par;
 use magellan_par::{ParConfig, ParStats};
 use magellan_table::Table;
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, Phase};
+use crate::error::MagellanError;
 use crate::workflow::EmWorkflow;
+
+/// Stable region ids keying per-region chunk-fault streams, so a fault
+/// plan injects independently into blocking, extraction, and prediction.
+const REGION_BLOCKING: u64 = 1;
+const REGION_EXTRACT: u64 = 2;
+const REGION_PREDICT: u64 = 3;
 
 /// Per-phase timings of a production run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -69,7 +97,39 @@ impl PhaseCounters {
     }
 }
 
+/// What the self-healing machinery did during a run: how much damage was
+/// absorbed, and what it cost. All zeros for a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryTelemetry {
+    /// Whole-phase retries after a transient failure.
+    pub phase_retries: u32,
+    /// Checkpoint-store operations retried after a transient I/O failure.
+    pub store_retries: u32,
+    /// Chunk panics contained by the parallel pool (injected or genuine).
+    pub panics_contained: usize,
+    /// Chunks whose output was recovered by retry or serial fallback.
+    pub chunks_recovered: usize,
+    /// Workers that died (exhausted in-worker retries) and were routed
+    /// around by the serial fallback.
+    pub worker_deaths: usize,
+    /// Checkpoints durably written this run.
+    pub checkpoints_written: u32,
+    /// The phase whose checkpoint this run resumed from, if any.
+    pub resumed_from: Option<Phase>,
+    /// Total simulated backoff spent sleeping between retries, seconds.
+    pub sim_backoff_s: f64,
+}
+
+impl RecoveryTelemetry {
+    fn absorb_stats(&mut self, s: &ParStats) {
+        self.panics_contained += s.panics_contained;
+        self.chunks_recovered += s.chunks_recovered;
+        self.worker_deaths += s.worker_deaths;
+    }
+}
+
 /// Result of a production run.
+#[derive(Debug)]
 pub struct ProductionReport {
     /// Predicted matches.
     pub matches: CandidateSet,
@@ -81,6 +141,33 @@ pub struct ProductionReport {
     pub counters: PhaseCounters,
     /// Worker threads used.
     pub n_workers: usize,
+    /// What the self-healing machinery absorbed (all zeros under
+    /// [`ProductionExecutor::run`], populated by
+    /// [`ProductionExecutor::run_with_recovery`]).
+    pub recovery: RecoveryTelemetry,
+}
+
+/// Knobs for [`ProductionExecutor::run_with_recovery`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// Backoff schedule for transient phase and checkpoint failures.
+    pub retry: RetryPolicy,
+    /// Seeded fault plan; [`FaultPlan::none`] for production.
+    pub faults: FaultPlan,
+    /// Test hook: die (return [`MagellanError::Killed`]) right after the
+    /// named phase's checkpoint is durably written, modeling process
+    /// death between phases. The next run resumes from that checkpoint.
+    pub kill_after: Option<Phase>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::none(),
+            kill_after: None,
+        }
+    }
 }
 
 /// Multi-core workflow executor.
@@ -147,8 +234,201 @@ impl ProductionExecutor {
                 matching: matching_stats,
             },
             n_workers: self.n_workers,
+            recovery: RecoveryTelemetry::default(),
         })
     }
+
+    /// Run the workflow with the full self-healing stack: fault-injected
+    /// parallel regions with panic containment, phase-level retries with
+    /// simulated backoff, checkpoint after every phase, and resume from
+    /// the last durable checkpoint on rerun.
+    ///
+    /// The recovery contract is the determinism contract extended to
+    /// chaos: for any fault plan the executor survives (bounded faults),
+    /// the match set is **bit-identical** to a fault-free run, and a run
+    /// killed after a phase resumes to an identical final match set.
+    pub fn run_with_recovery(
+        &self,
+        workflow: &EmWorkflow,
+        a: &Table,
+        b: &Table,
+        store: &mut dyn CheckpointStore,
+        opts: &RecoveryOptions,
+    ) -> Result<ProductionReport, MagellanError> {
+        let mut clock = SimClock::new();
+        let mut tel = RecoveryTelemetry::default();
+
+        // Pick up where a previous invocation left off, if anywhere.
+        let resume = match retry_store(&opts.retry, &mut clock, &mut tel, || store.load())? {
+            Some(text) => {
+                let ck = Checkpoint::from_text(&text)?;
+                tel.resumed_from = Some(ck.phase());
+                Some(ck)
+            }
+            None => None,
+        };
+
+        if let Some(Checkpoint::Done {
+            matches,
+            n_candidates,
+        }) = resume
+        {
+            // The previous run finished; reconstitute its report. Timings
+            // and counters are wall-clock artifacts of the dead process
+            // and come back empty — only the *results* are durable.
+            tel.sim_backoff_s = clock.now_s();
+            return Ok(ProductionReport {
+                matches: CandidateSet::new(matches),
+                n_candidates,
+                timings: PhaseTimings::default(),
+                counters: PhaseCounters::default(),
+                n_workers: self.n_workers,
+                recovery: tel,
+            });
+        }
+
+        // --- blocking phase (skipped when resuming past it) -------------
+        let (candidates, blocking_stats, blocking) = match resume {
+            Some(Checkpoint::Blocked { candidates }) => (
+                CandidateSet::new(candidates),
+                ParStats::default(),
+                Duration::ZERO,
+            ),
+            _ => {
+                let cfg = ParConfig::workers(self.n_workers)
+                    .with_faults(opts.faults.chunk_faults(REGION_BLOCKING));
+                let t0 = Instant::now();
+                let (c, stats) =
+                    retry_phase(&opts.retry, &mut clock, &mut tel, Phase::Blocking, || {
+                        workflow.blocker.block_par(a, b, &cfg).map_err(Into::into)
+                    })?;
+                tel.absorb_stats(&stats);
+                let elapsed = t0.elapsed();
+                retry_store(&opts.retry, &mut clock, &mut tel, || {
+                    store.save(
+                        &Checkpoint::Blocked {
+                            candidates: c.pairs().to_vec(),
+                        }
+                        .to_text(),
+                    )
+                })?;
+                tel.checkpoints_written += 1;
+                if opts.kill_after == Some(Phase::Blocking) {
+                    return Err(MagellanError::Killed {
+                        after_phase: "blocking",
+                    });
+                }
+                (c, stats, elapsed)
+            }
+        };
+
+        // --- matching phase ---------------------------------------------
+        let extract_cfg = ParConfig::workers(self.n_workers)
+            .with_faults(opts.faults.chunk_faults(REGION_EXTRACT));
+        let predict_cfg = ParConfig::workers(self.n_workers)
+            .with_faults(opts.faults.chunk_faults(REGION_PREDICT));
+        let t1 = Instant::now();
+        let pairs = candidates.pairs();
+        let (decisions, matching_stats) =
+            retry_phase(&opts.retry, &mut clock, &mut tel, Phase::Matching, || {
+                let (matrix, extract_stats) =
+                    extract_feature_matrix_par(pairs, a, b, &workflow.features, &extract_cfg)
+                        .map_err(MagellanError::from)?;
+                let (predicted, predict_stats) =
+                    magellan_par::map_indexed(matrix.len(), &predict_cfg, |i| {
+                        workflow.matcher.predict_proba(&matrix.rows[i]) >= workflow.threshold
+                    });
+                let decisions: Vec<(u32, u32)> = workflow
+                    .rule_layer
+                    .apply(&matrix, &predicted)
+                    .into_iter()
+                    .zip(pairs.iter().copied())
+                    .filter_map(|(d, p)| d.then_some(p))
+                    .collect();
+                let mut stats = extract_stats;
+                stats.merge(&predict_stats);
+                Ok((decisions, stats))
+            })?;
+        tel.absorb_stats(&matching_stats);
+        let matching = t1.elapsed();
+
+        retry_store(&opts.retry, &mut clock, &mut tel, || {
+            store.save(
+                &Checkpoint::Done {
+                    matches: decisions.clone(),
+                    n_candidates: pairs.len(),
+                }
+                .to_text(),
+            )
+        })?;
+        tel.checkpoints_written += 1;
+        if opts.kill_after == Some(Phase::Matching) {
+            return Err(MagellanError::Killed {
+                after_phase: "matching",
+            });
+        }
+
+        tel.sim_backoff_s = clock.now_s();
+        let n_candidates = pairs.len();
+        Ok(ProductionReport {
+            matches: CandidateSet::new(decisions),
+            n_candidates,
+            timings: PhaseTimings { blocking, matching },
+            counters: PhaseCounters {
+                blocking: blocking_stats,
+                matching: matching_stats,
+            },
+            n_workers: self.n_workers,
+            recovery: tel,
+        })
+    }
+}
+
+/// Retry a checkpoint-store operation under the policy, charging backoff
+/// to the simulated clock and counting retries in the telemetry.
+fn retry_store<T>(
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    tel: &mut RecoveryTelemetry,
+    mut f: impl FnMut() -> Result<T, MagellanError>,
+) -> Result<T, MagellanError> {
+    let mut retries = 0u32;
+    let out = run_with_retry(policy, clock, |attempt| {
+        retries = retries.max(attempt);
+        f()
+    });
+    tel.store_retries += retries;
+    out
+}
+
+/// Retry a whole pipeline phase on transient failure, wrapping whatever
+/// error escapes into a phase-tagged [`MagellanError`] context.
+fn retry_phase<T>(
+    policy: &RetryPolicy,
+    clock: &mut SimClock,
+    tel: &mut RecoveryTelemetry,
+    phase: Phase,
+    mut f: impl FnMut() -> Result<T, MagellanError>,
+) -> Result<T, MagellanError> {
+    let mut retries = 0u32;
+    let out = run_with_retry(policy, clock, |attempt| {
+        retries = retries.max(attempt);
+        f()
+    });
+    tel.phase_retries += retries;
+    out.map_err(|e| match e {
+        // Keep structured errors intact; only annotate the phase for
+        // anonymous failures.
+        e @ (MagellanError::Checkpoint { .. }
+        | MagellanError::Killed { .. }
+        | MagellanError::Timeout { .. }
+        | MagellanError::Phase { .. }) => e,
+        other => MagellanError::Phase {
+            phase: phase.name(),
+            message: other.to_string(),
+            transient: other.transient(),
+        },
+    })
 }
 
 /// A general parallel map over row chunks, exposed for workloads that
@@ -233,6 +513,122 @@ mod tests {
         assert!(report.counters.chunks_stolen() <= report.counters.blocking.chunks_total
             + report.counters.matching.chunks_total);
         assert_eq!(report.counters.worker_busy().len(), 3);
+    }
+
+    #[test]
+    fn recovery_run_without_faults_matches_plain_run() {
+        let s = persons(&ScenarioConfig {
+            size_a: 200,
+            size_b: 200,
+            n_matches: 60,
+            dirt: DirtModel::light(),
+            seed: 11,
+        });
+        let wf = workflow();
+        let plain = ProductionExecutor::new(2).run(&wf, &s.table_a, &s.table_b).unwrap();
+        let mut store = crate::checkpoint::MemStore::new();
+        let rec = ProductionExecutor::new(2)
+            .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &RecoveryOptions::default())
+            .unwrap();
+        assert_eq!(plain.matches, rec.matches);
+        assert_eq!(plain.n_candidates, rec.n_candidates);
+        assert_eq!(rec.recovery.panics_contained, 0);
+        assert_eq!(rec.recovery.checkpoints_written, 2);
+        assert_eq!(rec.recovery.resumed_from, None);
+        // The Done checkpoint is durable and parseable.
+        let ck = Checkpoint::from_text(store.raw().unwrap()).unwrap();
+        assert_eq!(ck.phase(), Phase::Matching);
+    }
+
+    #[test]
+    fn kill_after_blocking_resumes_to_identical_report() {
+        let s = persons(&ScenarioConfig {
+            size_a: 250,
+            size_b: 250,
+            n_matches: 80,
+            dirt: DirtModel::light(),
+            seed: 13,
+        });
+        let wf = workflow();
+        let exec = ProductionExecutor::new(3);
+        let golden = exec.run(&wf, &s.table_a, &s.table_b).unwrap();
+
+        let mut store = crate::checkpoint::MemStore::new();
+        let opts = RecoveryOptions {
+            kill_after: Some(Phase::Blocking),
+            ..RecoveryOptions::default()
+        };
+        let err = exec
+            .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+            .unwrap_err();
+        assert!(matches!(err, MagellanError::Killed { after_phase: "blocking" }));
+        assert!(err.fatal());
+
+        // Rerun with the same store: resumes past blocking, finishes.
+        let resumed = exec
+            .run_with_recovery(
+                &wf,
+                &s.table_a,
+                &s.table_b,
+                &mut store,
+                &RecoveryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(resumed.recovery.resumed_from, Some(Phase::Blocking));
+        assert_eq!(resumed.matches, golden.matches);
+        assert_eq!(resumed.n_candidates, golden.n_candidates);
+        // Blocking was skipped, so its counters are empty.
+        assert_eq!(resumed.counters.blocking.items, 0);
+
+        // A third run resumes from Done and still reports identically.
+        let done = exec
+            .run_with_recovery(
+                &wf,
+                &s.table_a,
+                &s.table_b,
+                &mut store,
+                &RecoveryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(done.recovery.resumed_from, Some(Phase::Matching));
+        assert_eq!(done.matches, golden.matches);
+        assert_eq!(done.n_candidates, golden.n_candidates);
+    }
+
+    #[test]
+    fn faulted_run_heals_to_bit_identical_matches() {
+        magellan_par::silence_contained_panics();
+        let s = persons(&ScenarioConfig {
+            size_a: 250,
+            size_b: 250,
+            n_matches: 80,
+            dirt: DirtModel::light(),
+            seed: 17,
+        });
+        let wf = workflow();
+        let exec = ProductionExecutor::new(4);
+        let golden = exec.run(&wf, &s.table_a, &s.table_b).unwrap();
+
+        let plan = FaultPlan::seeded(99);
+        let mut store = crate::checkpoint::FlakyStore::new(
+            crate::checkpoint::MemStore::new(),
+            plan,
+        );
+        let opts = RecoveryOptions {
+            faults: plan,
+            ..RecoveryOptions::default()
+        };
+        let rec = exec
+            .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+            .unwrap();
+        assert_eq!(rec.matches, golden.matches, "recovery must be bit-identical");
+        assert_eq!(rec.n_candidates, golden.n_candidates);
+        assert!(
+            rec.recovery.panics_contained > 0,
+            "seeded plan should have injected at least one chunk panic"
+        );
+        assert!(rec.recovery.chunks_recovered >= 1, "contained panics imply recovered chunks");
+        assert!(rec.recovery.chunks_recovered <= rec.recovery.panics_contained);
     }
 
     #[test]

@@ -41,9 +41,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clean;
 pub mod debug;
 pub mod downsample;
+pub mod error;
 pub mod evaluate;
 pub mod exec;
 pub mod interactive;
@@ -56,6 +58,9 @@ pub mod sample;
 pub mod workflow;
 
 pub use magellan_par as par;
+
+pub use checkpoint::{Checkpoint, CheckpointStore, FileStore, FlakyStore, MemStore, Phase};
+pub use error::MagellanError;
 
 pub use labeling::{Label, Labeler, NoisyLabeler, OracleLabeler, RecordingLabeler};
 pub use pipeline::{DevConfig, DevReport};

@@ -149,7 +149,7 @@ pub fn run_development_stage(
             choices[i]
                 .est_recall
                 .partial_cmp(&choices[j].est_recall)
-                .expect("recall is finite")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| choices[j].n_candidates.cmp(&choices[i].n_candidates))
         })
         .expect("at least one blocker");
@@ -190,7 +190,7 @@ pub fn run_development_stage(
     by_proxy.sort_by(|&i, &j| {
         proxy(&pre_matrix.rows[j])
             .partial_cmp(&proxy(&pre_matrix.rows[i]))
-            .expect("finite proxy")
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let take = cfg.sample_size.min(pre_matrix.len());
     let top = take / 2;

@@ -1,0 +1,248 @@
+//! The chaos suite: the determinism contract under fault injection.
+//!
+//! Each test drives the full EM production pipeline (blocking → feature
+//! extraction → prediction → rule layer) under seeded
+//! [`magellan_faults::FaultPlan`]s that inject chunk panics, transient
+//! checkpoint I/O failures, fragment failures, and stragglers — and
+//! asserts the **recovery contract**:
+//!
+//! 1. no panic escapes the executor;
+//! 2. every run completes;
+//! 3. the match set, candidate count, and P/R/F1 are **bit-identical**
+//!    to the fault-free golden run;
+//! 4. a run killed after any phase resumes from its checkpoint to an
+//!    identical final report;
+//! 5. worker count remains irrelevant under faults.
+//!
+//! The number of seeds defaults to 8 and can be raised with the
+//! `CHAOS_SEEDS` environment variable (the CI chaos job sets it).
+
+use std::collections::HashSet;
+
+use magellan_block::OverlapBlocker;
+use magellan_core::checkpoint::{Checkpoint, CheckpointStore, FlakyStore, MemStore, Phase};
+use magellan_core::error::MagellanError;
+use magellan_core::evaluate::evaluate_matches;
+use magellan_core::exec::{ProductionExecutor, ProductionReport, RecoveryOptions};
+use magellan_core::rules::{Cmp, MatchRule, RuleLayer};
+use magellan_core::EmWorkflow;
+use magellan_datagen::domains::persons;
+use magellan_datagen::{DirtModel, EmScenario, ScenarioConfig};
+use magellan_faults::{FaultPlan, RetryPolicy};
+use magellan_features::{Feature, FeatureKind, TokSpecF};
+use magellan_ml::model::ConstantClassifier;
+
+/// Fault seeds exercised per test: `CHAOS_SEEDS` (count) or 8.
+fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    (0..n.max(1)).map(|i| 1000 + 37 * i).collect()
+}
+
+fn scenario(seed: u64) -> EmScenario {
+    persons(&ScenarioConfig {
+        size_a: 300,
+        size_b: 300,
+        n_matches: 100,
+        dirt: DirtModel::light(),
+        seed,
+    })
+}
+
+fn workflow() -> EmWorkflow {
+    EmWorkflow {
+        blocker: Box::new(OverlapBlocker::words("name", 1)),
+        features: vec![
+            Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::JaroWinkler),
+            Feature::new("city", "city", FeatureKind::ExactMatch),
+        ],
+        matcher: Box::new(ConstantClassifier { proba: 1.0 }),
+        rule_layer: RuleLayer::new(vec![MatchRule::reject(
+            "weak",
+            vec![(
+                "jaccard(word(A.name), word(B.name))".into(),
+                Cmp::Lt,
+                0.5,
+            )],
+        )]),
+        threshold: 0.5,
+    }
+}
+
+/// P/R/F1 of a report against the scenario's gold, for bit-identity
+/// comparison between golden and chaos runs.
+fn metrics(report: &ProductionReport, s: &EmScenario) -> (f64, f64, f64) {
+    let gold: &HashSet<(String, String)> = &s.gold;
+    let m = evaluate_matches(&report.matches, &s.table_a, &s.table_b, "id", "id", gold)
+        .expect("evaluation");
+    (m.precision(), m.recall(), m.f1())
+}
+
+#[test]
+fn seeded_fault_plans_heal_to_bit_identical_results() {
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(21);
+    let wf = workflow();
+    let exec = ProductionExecutor::new(4);
+    let golden = exec.run(&wf, &s.table_a, &s.table_b).expect("golden run");
+    let golden_prf = metrics(&golden, &s);
+    assert!(golden_prf.2 > 0.0, "golden run should find matches");
+
+    let mut any_panic_contained = false;
+    let mut any_store_retry = false;
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed);
+        let mut store = FlakyStore::new(MemStore::new(), plan);
+        let opts = RecoveryOptions {
+            faults: plan,
+            ..RecoveryOptions::default()
+        };
+        let rec = exec
+            .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+            .unwrap_or_else(|e| panic!("chaos seed {seed} must complete, got: {e}"));
+        assert_eq!(
+            rec.matches, golden.matches,
+            "seed {seed}: match set must be bit-identical"
+        );
+        assert_eq!(rec.n_candidates, golden.n_candidates, "seed {seed}");
+        let prf = metrics(&rec, &s);
+        assert_eq!(prf, golden_prf, "seed {seed}: P/R/F1 must be bit-identical");
+        any_panic_contained |= rec.recovery.panics_contained > 0;
+        any_store_retry |= rec.recovery.store_retries > 0;
+        // The durable checkpoint reflects the finished run.
+        let ck = loop {
+            match store.load() {
+                Ok(text) => break Checkpoint::from_text(&text.expect("checkpoint")).unwrap(),
+                Err(e) => assert!(e.transient()),
+            }
+        };
+        match ck {
+            Checkpoint::Done {
+                matches,
+                n_candidates,
+            } => {
+                assert_eq!(n_candidates, golden.n_candidates);
+                assert_eq!(matches, golden.matches.pairs().to_vec());
+            }
+            other => panic!("expected Done checkpoint, got {other:?}"),
+        }
+    }
+    assert!(
+        any_panic_contained,
+        "across all seeds at least one chunk panic should have been injected"
+    );
+    assert!(
+        any_store_retry,
+        "across all seeds at least one checkpoint I/O blip should have been injected"
+    );
+}
+
+#[test]
+fn kill_and_resume_is_identical_under_faults() {
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(22);
+    let wf = workflow();
+    let exec = ProductionExecutor::new(3);
+    let golden = exec.run(&wf, &s.table_a, &s.table_b).expect("golden run");
+
+    for seed in seeds().into_iter().take(4) {
+        let plan = FaultPlan::seeded(seed);
+        for kill_phase in [Phase::Blocking, Phase::Matching] {
+            let mut store = FlakyStore::new(MemStore::new(), plan);
+            let opts = RecoveryOptions {
+                faults: plan,
+                kill_after: Some(kill_phase),
+                ..RecoveryOptions::default()
+            };
+            let err = exec
+                .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+                .expect_err("kill hook must fire");
+            let MagellanError::Killed { after_phase } = err else {
+                panic!("seed {seed}: expected Killed, got {err}");
+            };
+            assert_eq!(after_phase, kill_phase.name());
+
+            // The rerun resumes from the checkpoint the kill left behind
+            // and finishes with a bit-identical report.
+            let opts = RecoveryOptions {
+                faults: plan,
+                ..RecoveryOptions::default()
+            };
+            let resumed = exec
+                .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+                .unwrap_or_else(|e| panic!("seed {seed}: resume must complete: {e}"));
+            assert_eq!(resumed.recovery.resumed_from, Some(kill_phase));
+            assert_eq!(
+                resumed.matches, golden.matches,
+                "seed {seed}: resumed matches must equal golden"
+            );
+            assert_eq!(resumed.n_candidates, golden.n_candidates);
+        }
+    }
+}
+
+#[test]
+fn worker_count_is_irrelevant_under_faults() {
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(23);
+    let wf = workflow();
+    let plan = FaultPlan::seeded(4242);
+
+    let mut reference: Option<ProductionReport> = None;
+    for n_workers in [1usize, 2, 4, 8] {
+        let mut store = FlakyStore::new(MemStore::new(), plan);
+        let opts = RecoveryOptions {
+            faults: plan,
+            ..RecoveryOptions::default()
+        };
+        let rec = ProductionExecutor::new(n_workers)
+            .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+            .unwrap_or_else(|e| panic!("{n_workers} workers must complete: {e}"));
+        match &reference {
+            None => reference = Some(rec),
+            Some(r) => {
+                assert_eq!(
+                    rec.matches, r.matches,
+                    "{n_workers} workers: fault recovery must be worker-count invariant"
+                );
+                assert_eq!(rec.n_candidates, r.n_candidates);
+            }
+        }
+    }
+}
+
+#[test]
+fn heavy_panic_storms_are_contained() {
+    // A panic-containment smoke: far denser injection than the standard
+    // seeded plan, aggressive enough that every parallel region takes
+    // multiple hits — and the pipeline still completes identically.
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(24);
+    let wf = workflow();
+    let exec = ProductionExecutor::new(4);
+    let golden = exec.run(&wf, &s.table_a, &s.table_b).expect("golden run");
+
+    let plan = FaultPlan {
+        chunk_panic_per_mille: 600,
+        io_error_per_mille: 500,
+        ..FaultPlan::seeded(7)
+    };
+    let mut store = FlakyStore::new(MemStore::new(), plan);
+    let opts = RecoveryOptions {
+        faults: plan,
+        retry: RetryPolicy::default(),
+        kill_after: None,
+    };
+    let rec = exec
+        .run_with_recovery(&wf, &s.table_a, &s.table_b, &mut store, &opts)
+        .expect("panic storm must be absorbed");
+    assert_eq!(rec.matches, golden.matches);
+    assert!(
+        rec.recovery.panics_contained >= 5,
+        "a 60% per-chunk panic rate should hit many chunks: {:?}",
+        rec.recovery
+    );
+}

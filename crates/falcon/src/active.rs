@@ -93,7 +93,7 @@ pub fn active_learn(
     by_proxy.sort_by(|&i, &j| {
         proxy_score(&pool.rows[j])
             .partial_cmp(&proxy_score(&pool.rows[i]))
-            .expect("finite proxy")
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let seed_size = cfg.seed_size.min(n).max(2);
     let third = seed_size.div_ceil(3);
@@ -167,7 +167,7 @@ pub fn active_learn(
         if scored.is_empty() {
             break;
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
         if !single_class && scored[0].0 < cfg.stop_entropy {
             break; // committee agrees on everything left
         }

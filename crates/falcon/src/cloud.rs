@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use magellan_core::evaluate::evaluate_matches;
 use magellan_core::labeling::{Label, Labeler, OracleLabeler};
+use magellan_faults::{FaultPlan, RetryPolicy};
 use magellan_ml::Metrics;
 use magellan_table::Table;
 use rand::rngs::StdRng;
@@ -134,6 +135,12 @@ pub struct TaskOutcome {
     pub machine_time_s: f64,
     /// Candidate pairs examined.
     pub n_candidates: usize,
+    /// Crowd votes that never showed up and were re-solicited (0 unless
+    /// the service runs under a [`FaultPlan`]).
+    pub crowd_no_shows: usize,
+    /// Questions the crowd abandoned entirely, answered instead by the
+    /// submitting user (the crowd→single-user degradation path).
+    pub crowd_degraded_questions: usize,
 }
 
 impl TaskOutcome {
@@ -144,6 +151,13 @@ impl TaskOutcome {
 }
 
 /// A crowd labeler: majority vote over noisy votes, with fee accounting.
+///
+/// Under a non-empty [`FaultPlan`], individual votes can be **no-shows**
+/// (the Turker accepts the HIT and never answers): the labeler solicits a
+/// replacement vote (a fresh vote id), paying only for delivered votes.
+/// A question whose replacement budget is exhausted is **degraded** to
+/// the submitting user, who answers it directly — the crowd→single-user
+/// fallback of the self-healing metamanager.
 struct CrowdLabeler {
     oracle: OracleLabeler,
     votes: usize,
@@ -151,13 +165,33 @@ struct CrowdLabeler {
     rng: StdRng,
     fees: f64,
     fee_per_vote: f64,
+    /// Seeded no-show source; [`FaultPlan::none`] disables injection.
+    plan: FaultPlan,
+    /// Monotonic question id for no-show keying.
+    next_question: u64,
+    /// Votes that never arrived (re-solicited).
+    no_shows: usize,
+    /// Questions handed back to the submitting user.
+    degraded: usize,
 }
 
 impl Labeler for CrowdLabeler {
     fn label(&mut self, a: &Table, ra: usize, b: &Table, rb: usize) -> Label {
         let truth = self.oracle.label(a, ra, b, rb);
+        let qid = self.next_question;
+        self.next_question += 1;
         let mut yes = 0usize;
-        for _ in 0..self.votes {
+        let mut delivered = 0usize;
+        // Replacement budget: a question may burn at most one extra batch
+        // of solicitations before the service gives up on the crowd.
+        let cap = (self.votes * 2) as u64;
+        let mut vote_id = 0u64;
+        while delivered < self.votes && vote_id < cap {
+            if self.plan.crowd_no_show(qid, vote_id) {
+                self.no_shows += 1;
+                vote_id += 1;
+                continue;
+            }
             let vote = if self.rng.gen_bool(self.worker_error_rate) {
                 truth != Label::Match
             } else {
@@ -167,6 +201,14 @@ impl Labeler for CrowdLabeler {
                 yes += 1;
             }
             self.fees += self.fee_per_vote;
+            delivered += 1;
+            vote_id += 1;
+        }
+        if delivered < self.votes {
+            // The crowd abandoned this question: degrade to the
+            // submitting user, whose answer is authoritative (and free).
+            self.degraded += 1;
+            return truth;
         }
         if yes * 2 > self.votes {
             Label::Match
@@ -215,6 +257,24 @@ pub struct Fragment {
     pub duration_s: f64,
 }
 
+/// What the self-healing metamanager did while scheduling: damage
+/// absorbed per recovery mechanism. All zeros for a fault-free schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScheduleTelemetry {
+    /// Fragment attempts that failed and were retried with backoff.
+    pub fragment_retries: u32,
+    /// Straggler attempts killed at the per-fragment budget and rerun.
+    pub fragments_timed_out: u32,
+    /// Crowd fragments rerouted to the submitting user (degradation).
+    pub fragments_rerouted: u32,
+    /// Speculative backup copies launched for straggler batch fragments.
+    pub speculative_launched: u32,
+    /// Backups that finished before the straggling original.
+    pub speculative_wins: u32,
+    /// Total simulated backoff spent between fragment retries, seconds.
+    pub backoff_s: f64,
+}
+
 /// The metamanager's schedule summary.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport {
@@ -226,6 +286,9 @@ pub struct ScheduleReport {
     pub busy: Vec<(Engine, f64)>,
     /// Batch-engine worker slots used in the simulation.
     pub batch_slots: usize,
+    /// Recovery counters (all zeros under [`schedule_fragments`];
+    /// populated by [`schedule_fragments_with_recovery`]).
+    pub telemetry: ScheduleTelemetry,
 }
 
 impl ScheduleReport {
@@ -249,6 +312,9 @@ pub struct CloudMatcher {
     pub batch_slots: usize,
     /// Seed for the simulated annotators.
     pub seed: u64,
+    /// Seeded fault plan for the chaos suite; [`FaultPlan::none`] (the
+    /// default) runs the service fault-free.
+    pub faults: FaultPlan,
 }
 
 impl Default for CloudMatcher {
@@ -257,6 +323,7 @@ impl Default for CloudMatcher {
             cost_model: CostModel::default(),
             batch_slots: 4,
             seed: 7,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -272,33 +339,46 @@ impl CloudMatcher {
         let oracle = OracleLabeler::new(spec.gold.clone(), &spec.a_key, &spec.b_key);
 
         let t0 = Instant::now();
-        let (report, questions, crowd_cost, per_q_latency, label_engine) = match spec.labeling {
-            LabelingMode::SingleUser { error_rate } => {
-                let mut labeler = UserLabeler {
-                    oracle,
-                    error_rate,
-                    rng: StdRng::seed_from_u64(self.seed ^ 0x11),
-                };
-                let report =
-                    run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
-                let q = labeler.questions_asked();
-                (report, q, 0.0, cm.user_latency_s, Engine::UserInteraction)
-            }
-            LabelingMode::Crowd { worker_error_rate } => {
-                let mut labeler = CrowdLabeler {
-                    oracle,
-                    votes: cm.crowd_votes,
-                    worker_error_rate,
-                    rng: StdRng::seed_from_u64(self.seed ^ 0x22),
-                    fees: 0.0,
-                    fee_per_vote: cm.crowd_fee_per_vote,
-                };
-                let report =
-                    run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
-                let q = labeler.questions_asked();
-                (report, q, labeler.fees, cm.crowd_latency_s, Engine::Crowd)
-            }
-        };
+        let (report, questions, crowd_cost, per_q_latency, label_engine, no_shows, degraded) =
+            match spec.labeling {
+                LabelingMode::SingleUser { error_rate } => {
+                    let mut labeler = UserLabeler {
+                        oracle,
+                        error_rate,
+                        rng: StdRng::seed_from_u64(self.seed ^ 0x11),
+                    };
+                    let report =
+                        run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
+                    let q = labeler.questions_asked();
+                    (report, q, 0.0, cm.user_latency_s, Engine::UserInteraction, 0, 0)
+                }
+                LabelingMode::Crowd { worker_error_rate } => {
+                    let mut labeler = CrowdLabeler {
+                        oracle,
+                        votes: cm.crowd_votes,
+                        worker_error_rate,
+                        rng: StdRng::seed_from_u64(self.seed ^ 0x22),
+                        fees: 0.0,
+                        fee_per_vote: cm.crowd_fee_per_vote,
+                        plan: self.faults,
+                        next_question: 0,
+                        no_shows: 0,
+                        degraded: 0,
+                    };
+                    let report =
+                        run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
+                    let q = labeler.questions_asked();
+                    (
+                        report,
+                        q,
+                        labeler.fees,
+                        cm.crowd_latency_s,
+                        Engine::Crowd,
+                        labeler.no_shows,
+                        labeler.degraded,
+                    )
+                }
+            };
         let machine_time_s = t0.elapsed().as_secs_f64();
 
         let label_time_s = questions as f64 * per_q_latency;
@@ -347,6 +427,8 @@ impl CloudMatcher {
             label_time_s,
             machine_time_s,
             n_candidates: report.n_candidates,
+            crowd_no_shows: no_shows,
+            crowd_degraded_questions: degraded,
         };
         Ok((outcome, fragments))
     }
@@ -367,13 +449,24 @@ impl CloudMatcher {
             outcomes.push(outcome);
             chains.push(fragments);
         }
-        let schedule = schedule_fragments(&chains, self.batch_slots);
+        let schedule = if self.faults.is_none() {
+            schedule_fragments(&chains, self.batch_slots)
+        } else {
+            schedule_fragments_with_recovery(
+                &chains,
+                self.batch_slots,
+                &ScheduleRecoveryOptions {
+                    faults: self.faults,
+                    ..ScheduleRecoveryOptions::default()
+                },
+            )
+        };
         Ok((outcomes, schedule))
     }
 }
 
 /// Event-driven interleaving of task chains across engines.
-fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleReport {
+pub fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleReport {
     let batch_slots = batch_slots.max(1);
     let mut slot_free = vec![0.0f64; batch_slots];
     // (next fragment index, ready time) per chain.
@@ -416,7 +509,7 @@ fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleR
             let slot = slot_free
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(i, _)| i)
                 .expect("at least one slot");
             slot_free[slot] = finish;
@@ -433,7 +526,166 @@ fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleR
         interleaved_makespan_s: makespan,
         busy,
         batch_slots,
+        telemetry: ScheduleTelemetry::default(),
     }
+}
+
+/// Knobs for [`schedule_fragments_with_recovery`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleRecoveryOptions {
+    /// Seeded fault source; [`FaultPlan::none`] reproduces the plain
+    /// scheduler exactly.
+    pub faults: FaultPlan,
+    /// Backoff schedule for failed fragment attempts.
+    pub retry: RetryPolicy,
+    /// Per-fragment budget in simulated seconds. A straggler-inflated
+    /// attempt that would exceed it is killed at the budget mark and
+    /// rerun at nominal speed (rescheduled off the slow machine).
+    /// Nominal attempts are never killed, so the scheduler always
+    /// converges. `f64::INFINITY` disables timeouts.
+    pub fragment_timeout_s: f64,
+    /// Duration multiplier when a crowd fragment degrades to the
+    /// submitting user (default 1/15: a 6 s user answer vs. a 90 s crowd
+    /// round-trip, per [`CostModel::default`]).
+    pub degrade_factor: f64,
+    /// Launch a speculative backup when an attempt's effective duration
+    /// exceeds `nominal × this` (clamped to ≥ 1). The backup starts at
+    /// `t = nominal` and runs at nominal speed; the fragment finishes
+    /// when either copy does.
+    pub speculate_threshold: f64,
+}
+
+impl Default for ScheduleRecoveryOptions {
+    fn default() -> Self {
+        ScheduleRecoveryOptions {
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            fragment_timeout_s: f64::INFINITY,
+            degrade_factor: 1.0 / 15.0,
+            speculate_threshold: 1.5,
+        }
+    }
+}
+
+/// Resolve one fragment's fate under the fault plan: which engine it
+/// ultimately runs on and how long it occupies the schedule, including
+/// failed attempts, backoff, timeouts, degradation, and speculation.
+/// Returns the resolved fragment plus extra batch busy-seconds burned by
+/// a speculative backup copy.
+fn resolve_fragment(
+    task: u64,
+    fid: u64,
+    frag: Fragment,
+    opts: &ScheduleRecoveryOptions,
+    tel: &mut ScheduleTelemetry,
+) -> (Fragment, f64) {
+    let plan = &opts.faults;
+    let mut engine = frag.engine;
+    let mut nominal = frag.duration_s;
+    let mut total = 0.0f64;
+    let mut extra_batch_busy = 0.0f64;
+
+    // Crowd that never picks the fragment up: repost once (backoff), then
+    // hand it to the submitting user at single-user speed.
+    if engine == Engine::Crowd && plan.crowd_no_show(task, fid) {
+        let repost = opts.retry.delay_s(1);
+        total += repost;
+        tel.backoff_s += repost;
+        tel.fragments_rerouted += 1;
+        engine = Engine::UserInteraction;
+        nominal *= opts.degrade_factor;
+    }
+
+    let spec_threshold = opts.speculate_threshold.max(1.0);
+    let mut attempt: u32 = 0;
+    loop {
+        // Injected attempt failure: the fragment dies halfway, the
+        // metamanager backs off and retries. Bounded per site, so the
+        // loop always reaches a completing attempt.
+        if plan.fragment_fails(task, fid, attempt) && opts.retry.allows(attempt + 1) {
+            let backoff = opts.retry.delay_s(attempt + 1);
+            tel.fragment_retries += 1;
+            tel.backoff_s += backoff;
+            total += nominal * 0.5 + backoff;
+            attempt += 1;
+            continue;
+        }
+        // This attempt completes. Attempt 0 of a batch fragment may land
+        // on a straggling machine; re-executions run at nominal speed.
+        let dur = if engine == Engine::Batch && attempt == 0 {
+            plan.straggler_duration_s(task, fid, nominal)
+        } else {
+            nominal
+        };
+        if dur > nominal && dur > opts.fragment_timeout_s {
+            // The inflated attempt blows the fragment budget: kill it at
+            // the budget mark and reschedule elsewhere.
+            let backoff = opts.retry.delay_s(attempt + 1);
+            tel.fragments_timed_out += 1;
+            tel.backoff_s += backoff;
+            total += opts.fragment_timeout_s + backoff;
+            attempt += 1;
+            continue;
+        }
+        if dur > nominal * spec_threshold {
+            // Straggler within budget: launch a backup at t = nominal
+            // running at nominal speed; take whichever finishes first.
+            tel.speculative_launched += 1;
+            let backup_finish = 2.0 * nominal;
+            let effective = dur.min(backup_finish);
+            if backup_finish < dur {
+                tel.speculative_wins += 1;
+            }
+            // The backup occupies a second batch slot from its launch
+            // until the fragment resolves.
+            extra_batch_busy += effective - nominal;
+            total += effective;
+            break;
+        }
+        total += dur;
+        break;
+    }
+    (Fragment { engine, duration_s: total }, extra_batch_busy)
+}
+
+/// [`schedule_fragments`] hardened against a [`FaultPlan`]: fragment
+/// attempts can fail (retried with exponential backoff in simulated
+/// time), batch fragments can straggle (speculatively re-executed or
+/// killed at a per-fragment timeout), and crowd fragments can be
+/// abandoned (rerouted to the submitting user). With
+/// [`FaultPlan::none`] the result is identical to the plain scheduler.
+pub fn schedule_fragments_with_recovery(
+    chains: &[Vec<Fragment>],
+    batch_slots: usize,
+    opts: &ScheduleRecoveryOptions,
+) -> ScheduleReport {
+    let mut tel = ScheduleTelemetry::default();
+    let mut extra_batch_busy = 0.0f64;
+    let resolved: Vec<Vec<Fragment>> = chains
+        .iter()
+        .enumerate()
+        .map(|(c, chain)| {
+            chain
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let (frag, extra) =
+                        resolve_fragment(c as u64, i as u64, *f, opts, &mut tel);
+                    extra_batch_busy += extra;
+                    frag
+                })
+                .collect()
+        })
+        .collect();
+    let mut rep = schedule_fragments(&resolved, batch_slots);
+    if extra_batch_busy > 0.0 {
+        match rep.busy.iter_mut().find(|(e, _)| *e == Engine::Batch) {
+            Some((_, b)) => *b += extra_batch_busy,
+            None => rep.busy.push((Engine::Batch, extra_batch_busy)),
+        }
+    }
+    rep.telemetry = tel;
+    rep
 }
 
 #[cfg(test)]
@@ -571,5 +823,208 @@ mod tests {
         assert_eq!(rep.serial_total_s, 0.0);
         assert_eq!(rep.interleaved_makespan_s, 0.0);
         assert_eq!(rep.speedup(), 1.0);
+        assert_eq!(rep.telemetry, ScheduleTelemetry::default());
+    }
+
+    fn synthetic_chains() -> Vec<Vec<Fragment>> {
+        (0..6)
+            .map(|_| {
+                vec![
+                    Fragment {
+                        engine: Engine::Crowd,
+                        duration_s: 100.0,
+                    },
+                    Fragment {
+                        engine: Engine::Batch,
+                        duration_s: 50.0,
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_scheduler_without_faults_is_identical() {
+        let chains = synthetic_chains();
+        let plain = schedule_fragments(&chains, 3);
+        let rec =
+            schedule_fragments_with_recovery(&chains, 3, &ScheduleRecoveryOptions::default());
+        assert_eq!(plain.interleaved_makespan_s, rec.interleaved_makespan_s);
+        assert_eq!(plain.serial_total_s, rec.serial_total_s);
+        assert_eq!(plain.busy, rec.busy);
+        assert_eq!(rec.telemetry, ScheduleTelemetry::default());
+    }
+
+    #[test]
+    fn fragment_failures_are_retried_with_backoff() {
+        let chains = synthetic_chains();
+        let opts = ScheduleRecoveryOptions {
+            faults: FaultPlan {
+                fragment_failure_per_mille: 1000,
+                straggler_per_mille: 0,
+                crowd_no_show_per_mille: 0,
+                ..FaultPlan::seeded(41)
+            },
+            ..ScheduleRecoveryOptions::default()
+        };
+        let rec = schedule_fragments_with_recovery(&chains, 3, &opts);
+        assert!(rec.telemetry.fragment_retries > 0);
+        assert!(rec.telemetry.backoff_s > 0.0);
+        let plain = schedule_fragments(&chains, 3);
+        assert!(rec.interleaved_makespan_s > plain.interleaved_makespan_s);
+        // Deterministic: the same plan yields the same schedule.
+        let again = schedule_fragments_with_recovery(&chains, 3, &opts);
+        assert_eq!(rec.interleaved_makespan_s, again.interleaved_makespan_s);
+        assert_eq!(rec.telemetry, again.telemetry);
+    }
+
+    #[test]
+    fn straggling_batch_fragments_get_speculative_backups() {
+        let chains = synthetic_chains();
+        let opts = ScheduleRecoveryOptions {
+            faults: FaultPlan {
+                straggler_per_mille: 1000,
+                straggler_factor_x100: 400, // 4x stragglers
+                fragment_failure_per_mille: 0,
+                crowd_no_show_per_mille: 0,
+                ..FaultPlan::seeded(42)
+            },
+            ..ScheduleRecoveryOptions::default()
+        };
+        let rec = schedule_fragments_with_recovery(&chains, 3, &opts);
+        assert_eq!(rec.telemetry.speculative_launched, 6);
+        assert_eq!(rec.telemetry.speculative_wins, 6, "2x backup beats 4x straggler");
+        // Every batch fragment finishes at 2x nominal, not 4x.
+        let plain = schedule_fragments(&chains, 3);
+        assert!(rec.interleaved_makespan_s < plain.interleaved_makespan_s * 4.0);
+        // The backup copies burn extra batch busy-seconds.
+        let batch_busy = rec.busy.iter().find(|(e, _)| *e == Engine::Batch).unwrap().1;
+        let plain_busy = plain.busy.iter().find(|(e, _)| *e == Engine::Batch).unwrap().1;
+        assert!(batch_busy > plain_busy);
+    }
+
+    #[test]
+    fn straggler_over_budget_is_killed_and_rerun_at_nominal() {
+        let chains = vec![vec![Fragment {
+            engine: Engine::Batch,
+            duration_s: 10.0,
+        }]];
+        let opts = ScheduleRecoveryOptions {
+            faults: FaultPlan {
+                straggler_per_mille: 1000,
+                straggler_factor_x100: 10_000, // 100x: hopeless straggler
+                fragment_failure_per_mille: 0,
+                crowd_no_show_per_mille: 0,
+                ..FaultPlan::seeded(43)
+            },
+            fragment_timeout_s: 30.0,
+            ..ScheduleRecoveryOptions::default()
+        };
+        let rec = schedule_fragments_with_recovery(&chains, 1, &opts);
+        assert_eq!(rec.telemetry.fragments_timed_out, 1);
+        assert_eq!(rec.telemetry.speculative_launched, 0);
+        // Cost: 30s killed attempt + backoff + 10s nominal rerun — far
+        // below the 1000s the straggler would have taken.
+        assert!(rec.interleaved_makespan_s < 100.0, "{rec:?}");
+        assert!(rec.interleaved_makespan_s >= 40.0);
+    }
+
+    #[test]
+    fn abandoned_crowd_fragments_degrade_to_single_user() {
+        let chains = synthetic_chains();
+        let opts = ScheduleRecoveryOptions {
+            faults: FaultPlan {
+                crowd_no_show_per_mille: 1000,
+                fragment_failure_per_mille: 0,
+                straggler_per_mille: 0,
+                ..FaultPlan::seeded(44)
+            },
+            ..ScheduleRecoveryOptions::default()
+        };
+        let rec = schedule_fragments_with_recovery(&chains, 3, &opts);
+        assert_eq!(rec.telemetry.fragments_rerouted, 6);
+        // The degraded fragments now run on the user engine.
+        let user_busy = rec
+            .busy
+            .iter()
+            .find(|(e, _)| *e == Engine::UserInteraction)
+            .map(|(_, b)| *b)
+            .unwrap_or(0.0);
+        assert!(user_busy > 0.0);
+        assert!(rec.busy.iter().all(|(e, b)| *e != Engine::Crowd || *b == 0.0));
+    }
+
+    #[test]
+    fn crowd_labeler_replaces_no_shows_and_degrades_when_abandoned() {
+        let s = scenario(63);
+        let mut cm = CloudMatcher::default();
+        cm.faults = FaultPlan {
+            crowd_no_show_per_mille: 300,
+            ..FaultPlan::none()
+        };
+        cm.faults.seed = 9;
+        let spec = TaskSpec {
+            name: "persons-flaky-crowd".into(),
+            table_a: &s.table_a,
+            table_b: &s.table_b,
+            a_key: "id".into(),
+            b_key: "id".into(),
+            gold: &s.gold,
+            labeling: LabelingMode::Crowd {
+                worker_error_rate: 0.1,
+            },
+            on_cloud: false,
+            falcon: small_falcon(),
+        };
+        let (outcome, _) = cm.run_task(&spec).unwrap();
+        assert!(outcome.crowd_no_shows > 0, "{outcome:?}");
+        // Accuracy survives the flaky crowd: replacements + degradation
+        // keep the majority signal intact.
+        assert!(outcome.precision > 0.7, "{outcome:?}");
+        // Fees are only paid for delivered votes.
+        let max_fee = outcome.questions as f64
+            * cm.cost_model.crowd_votes as f64
+            * cm.cost_model.crowd_fee_per_vote;
+        assert!(outcome.crowd_cost <= max_fee + 1e-9);
+
+        // A crowd that never shows up degrades every question to the
+        // submitting user: zero fees, oracle-grade answers.
+        let mut dead = CloudMatcher::default();
+        dead.faults = FaultPlan {
+            crowd_no_show_per_mille: 1000,
+            ..FaultPlan::none()
+        };
+        dead.faults.seed = 9;
+        let (outcome, _) = dead.run_task(&spec).unwrap();
+        assert_eq!(outcome.crowd_degraded_questions, outcome.questions);
+        assert_eq!(outcome.crowd_cost, 0.0);
+        assert!(outcome.precision > 0.75, "{outcome:?}");
+    }
+
+    #[test]
+    fn faulted_cloudmatcher_outcome_matches_are_unchanged() {
+        // Fault injection at the schedule level must not perturb the EM
+        // results themselves: same seed, same precision/recall.
+        let s = scenario(64);
+        let spec = |_name: &str| TaskSpec {
+            name: "persons".into(),
+            table_a: &s.table_a,
+            table_b: &s.table_b,
+            a_key: "id".into(),
+            b_key: "id".into(),
+            gold: &s.gold,
+            labeling: LabelingMode::SingleUser { error_rate: 0.0 },
+            on_cloud: false,
+            falcon: small_falcon(),
+        };
+        let clean = CloudMatcher::default();
+        let mut chaotic = CloudMatcher::default();
+        chaotic.faults = FaultPlan::seeded(77);
+        let (a, _) = clean.run_task(&spec("a")).unwrap();
+        let (b, _) = chaotic.run_task(&spec("b")).unwrap();
+        assert_eq!(a.precision, b.precision);
+        assert_eq!(a.recall, b.recall);
+        assert_eq!(a.n_candidates, b.n_candidates);
+        assert_eq!(a.questions, b.questions);
     }
 }

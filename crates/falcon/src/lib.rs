@@ -35,6 +35,9 @@ pub mod smurf;
 pub mod workflow;
 
 pub use active::{active_learn, ActiveLearnConfig, ActiveLearnOutcome};
-pub use cloud::{CloudMatcher, CostModel, Engine, ScheduleReport, TaskOutcome};
+pub use cloud::{
+    schedule_fragments, schedule_fragments_with_recovery, CloudMatcher, CostModel, Engine,
+    Fragment, ScheduleRecoveryOptions, ScheduleReport, ScheduleTelemetry, TaskOutcome,
+};
 pub use rules::{extract_blocking_rules, ExtractedRule};
 pub use workflow::{run_falcon, FalconConfig, FalconReport};

@@ -186,7 +186,7 @@ pub fn extract_blocking_rules(
     rules.sort_by(|a, b| {
         b.coverage
             .partial_cmp(&a.coverage)
-            .expect("finite coverage")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.conditions.len().cmp(&b.conditions.len()))
     });
     // Prefer executable rules: the blocker can only run those at scale.

@@ -59,7 +59,7 @@ pub fn run_smurf(
         .enumerate()
         .map(|(i, r)| (proxy(r), i))
         .collect();
-    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite"));
+    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
     let n = scored.len();
     // Confident positives: the top few percent, and only while the proxy
     // stays clearly high — pseudo-label noise here poisons every rule.

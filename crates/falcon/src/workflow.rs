@@ -125,7 +125,7 @@ pub fn sample_pairs(
     let tok = AlphanumericTokenizer::as_set();
     let mut joined = set_sim_join(&la, &rb, &tok, SetSimMeasure::Jaccard(0.2));
     // Highest-similarity plausible pairs first.
-    joined.sort_by(|x, y| y.sim.partial_cmp(&x.sim).expect("finite"));
+    joined.sort_by(|x, y| y.sim.partial_cmp(&x.sim).unwrap_or(std::cmp::Ordering::Equal));
     let mut pairs: Vec<(u32, u32)> = joined
         .iter()
         .take(n / 2)
@@ -177,7 +177,7 @@ pub fn biased_pool(
     by_proxy.sort_by(|&i, &j| {
         proxy(&matrix.rows[j])
             .partial_cmp(&proxy(&matrix.rows[i]))
-            .expect("finite proxy")
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let top = cap / 2;
     let mut positions: Vec<usize> = by_proxy[..top].to_vec();

@@ -119,7 +119,7 @@ pub fn select_matcher(
     reports.sort_by(|a, b| {
         b.mean_f1()
             .partial_cmp(&a.mean_f1())
-            .expect("F1 is finite")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| ensemble_size(b).cmp(&ensemble_size(a)))
             .then_with(|| a.learner.cmp(&b.learner))
     });

@@ -91,7 +91,7 @@ impl Classifier for KnnClassifier {
         let mut dists: Vec<(f64, bool)> = (0..self.data.len())
             .map(|i| (self.dist2(row, self.data.row(i)), self.data.label(i)))
             .collect();
-        dists.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let pos = dists[..k].iter().filter(|(_, l)| *l).count();
         pos as f64 / k as f64
     }

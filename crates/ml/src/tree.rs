@@ -348,7 +348,7 @@ fn best_split(ctx: &mut BuildCtx<'_>, indices: &[usize], n_pos: usize) -> Option
             let key = if x.is_nan() { f64::NEG_INFINITY } else { x };
             vals.push((key, ctx.data.label(i)));
         }
-        vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN after mapping"));
+        vals.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut pos_left = 0usize;
         for split_at in 1..n {
             if vals[split_at - 1].1 {

@@ -37,14 +37,62 @@
 //! * `magellan-falcon` — the example-scoring loop of active learning;
 //! * `magellan-core` — `ProductionExecutor` drives whole workflows and
 //!   surfaces the per-phase [`ParStats`] counters in its report.
+//!
+//! ## Panic containment & self-healing
+//!
+//! Every chunk attempt runs under `catch_unwind`. A chunk that panics —
+//! whether from an injected fault ([`ParConfig::faults`], a
+//! `magellan-faults` chunk-fault slice) or a genuine bug — is retried by
+//! the same worker up to [`ParConfig::chunk_retries`] times. If a chunk
+//! exhausts its in-worker retries the worker *dies* (stops claiming work,
+//! modelling a crashed thread); surviving workers keep draining the chunk
+//! cursor, and after the scope joins the calling thread serially re-runs
+//! every still-missing chunk with fresh attempt numbers. Only a chunk
+//! that keeps panicking through the serial fallback escapes — that is a
+//! deterministic bug, and hiding it would be worse than crashing.
+//!
+//! Because the chunk function is pure and injection is keyed on
+//! `(region, chunk, attempt)` — never on which worker runs the chunk —
+//! **recovered output is bit-identical to the fault-free run**, preserving
+//! the determinism contract under chaos. Recovery is surfaced in
+//! [`ParStats`]: `panics_contained`, `chunks_recovered`, `worker_deaths`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
+
+pub use magellan_faults::ChunkFaults;
+
+/// The payload of a fault-plan-injected chunk panic. Public so panic
+/// hooks (see [`silence_contained_panics`]) can recognize and mute it.
+#[derive(Debug)]
+pub struct InjectedFault {
+    /// Chunk the fault fired in.
+    pub chunk: usize,
+    /// 0-based attempt that was killed.
+    pub attempt: u32,
+}
+
+/// Install a process-wide panic hook that stays silent for
+/// [`InjectedFault`] payloads and delegates everything else to the
+/// previous hook. Chaos tests call this once so thousands of injected,
+/// *contained* panics do not flood stderr; genuine panics still print.
+pub fn silence_contained_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// How a parallel region should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +102,11 @@ pub struct ParConfig {
     /// Items per chunk; `None` picks a size that gives each worker several
     /// chunks to steal (`len / (8 · n_workers)`, clamped to ≥ 1).
     pub chunk_size: Option<usize>,
+    /// In-worker retries per chunk after a contained panic before the
+    /// worker gives up on the chunk and dies.
+    pub chunk_retries: u32,
+    /// Deterministic chunk-panic injector (production: `ChunkFaults::none()`).
+    pub faults: ChunkFaults,
 }
 
 impl ParConfig {
@@ -62,6 +115,8 @@ impl ParConfig {
         ParConfig {
             n_workers: 1,
             chunk_size: None,
+            chunk_retries: 3,
+            faults: ChunkFaults::none(),
         }
     }
 
@@ -69,13 +124,19 @@ impl ParConfig {
     pub fn workers(n: usize) -> Self {
         ParConfig {
             n_workers: n.max(1),
-            chunk_size: None,
+            ..ParConfig::serial()
         }
     }
 
     /// Override the chunk size.
     pub fn with_chunk_size(mut self, chunk: usize) -> Self {
         self.chunk_size = Some(chunk.max(1));
+        self
+    }
+
+    /// Enable deterministic chunk-fault injection for this region.
+    pub fn with_faults(mut self, faults: ChunkFaults) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -109,6 +170,14 @@ pub struct ParStats {
     /// Chunks executed by a worker other than their static-partition owner
     /// (the "stolen" work that dynamic scheduling moved off stragglers).
     pub chunks_stolen: usize,
+    /// Panics caught by per-chunk `catch_unwind` (injected or genuine).
+    pub panics_contained: usize,
+    /// Chunks that panicked at least once but ultimately produced their
+    /// output (in-worker retry or serial fallback).
+    pub chunks_recovered: usize,
+    /// Workers that died (abandoned the claim loop after a chunk
+    /// exhausted its in-worker retries).
+    pub worker_deaths: usize,
     /// Busy wall-clock per worker (time inside the chunk function).
     pub worker_busy: Vec<Duration>,
     /// Wall-clock of the whole region, including merge.
@@ -121,10 +190,12 @@ impl ParStats {
         self.worker_busy.iter().sum()
     }
 
-    /// Items per second of wall-clock (0 when the region was instant).
+    /// Items per second of wall-clock. Guarded against zero/degenerate
+    /// durations: an instant (or merged-empty) region reports `0.0`,
+    /// never `NaN` or `inf`.
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
+        if secs > 0.0 && secs.is_finite() {
             self.items as f64 / secs
         } else {
             0.0
@@ -132,9 +203,10 @@ impl ParStats {
     }
 
     /// Parallel efficiency in `[0, 1]`: busy time ÷ (workers × wall-clock).
+    /// Zero-duration or zero-worker regions report `0.0`, never `NaN`/`inf`.
     pub fn utilization(&self) -> f64 {
         let denom = self.n_workers as f64 * self.elapsed.as_secs_f64();
-        if denom > 0.0 {
+        if denom > 0.0 && denom.is_finite() {
             (self.busy_total().as_secs_f64() / denom).min(1.0)
         } else {
             0.0
@@ -147,6 +219,9 @@ impl ParStats {
         self.items += other.items;
         self.chunks_total += other.chunks_total;
         self.chunks_stolen += other.chunks_stolen;
+        self.panics_contained += other.panics_contained;
+        self.chunks_recovered += other.chunks_recovered;
+        self.worker_deaths += other.worker_deaths;
         if self.worker_busy.len() < other.worker_busy.len() {
             self.worker_busy.resize(other.worker_busy.len(), Duration::ZERO);
         }
@@ -161,6 +236,9 @@ impl ParStats {
 struct WorkerLog {
     busy: Duration,
     stolen: usize,
+    contained: usize,
+    recovered: usize,
+    died: bool,
 }
 
 /// The static-partition owner of chunk `c` — used only to count steals.
@@ -173,7 +251,11 @@ fn home_worker(chunk: usize, n_chunks: usize, n_workers: usize) -> usize {
 /// return the per-chunk outputs **in chunk order** plus region counters.
 ///
 /// `f` must be a pure function of its index range for the determinism
-/// contract to hold (see the crate docs).
+/// contract to hold (see the crate docs). Panics inside `f` (and panics
+/// injected via [`ParConfig::faults`]) are contained per chunk: the chunk
+/// is retried in-worker, dead workers' chunks fall back to a serial
+/// re-run on the calling thread, and only a chunk that *keeps* panicking
+/// re-raises its original payload.
 pub fn chunk_map<R, F>(len: usize, cfg: &ParConfig, f: F) -> (Vec<R>, ParStats)
 where
     R: Send,
@@ -187,9 +269,8 @@ where
         n_workers,
         items: len,
         chunks_total: n_chunks,
-        chunks_stolen: 0,
         worker_busy: vec![Duration::ZERO; n_workers],
-        elapsed: Duration::ZERO,
+        ..ParStats::default()
     };
     if len == 0 {
         stats.elapsed = t0.elapsed();
@@ -198,6 +279,18 @@ where
 
     let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+
+    // One fault-contained attempt at a chunk. Injection fires *before* the
+    // chunk function runs, so a retried chunk recomputes `f` from scratch
+    // and the recovered output is bit-identical.
+    let run_attempt = |c: usize, attempt: u32, range: Range<usize>| -> std::thread::Result<R> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if cfg.faults.injects(c as u64, attempt) {
+                std::panic::panic_any(InjectedFault { chunk: c, attempt });
+            }
+            f(range)
+        }))
+    };
 
     let worker = |w: usize| -> WorkerLog {
         let mut log = WorkerLog::default();
@@ -212,9 +305,36 @@ where
             let lo = c * chunk;
             let hi = (lo + chunk).min(len);
             let t = Instant::now();
-            let out = f(lo..hi);
+            let mut attempt = 0u32;
+            let completed = loop {
+                match run_attempt(c, attempt, lo..hi) {
+                    Ok(out) => {
+                        if attempt > 0 {
+                            log.recovered += 1;
+                        }
+                        if let Ok(mut slot) = slots[c].lock() {
+                            *slot = Some(out);
+                        }
+                        break true;
+                    }
+                    Err(_payload) => {
+                        log.contained += 1;
+                        if attempt >= cfg.chunk_retries {
+                            break false;
+                        }
+                        attempt += 1;
+                    }
+                }
+            };
             log.busy += t.elapsed();
-            *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+            if !completed {
+                // The worker dies: it abandons the claim loop, modelling a
+                // crashed thread. Its unfinished chunk (and anything still
+                // unclaimed if every worker dies) is picked up by the
+                // serial fallback below.
+                log.died = true;
+                break;
+            }
         }
         log
     };
@@ -223,29 +343,90 @@ where
         let log = worker(0);
         stats.worker_busy[0] = log.busy;
         stats.chunks_stolen = log.stolen;
+        stats.panics_contained = log.contained;
+        stats.chunks_recovered = log.recovered;
+        stats.worker_deaths = usize::from(log.died);
     } else {
-        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
+        let logs: Vec<Option<WorkerLog>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (1..n_workers)
                 .map(|w| scope.spawn(move || worker(w)))
                 .collect();
-            let mut logs = vec![worker(0)];
+            let mut logs = vec![Some(worker(0))];
             for h in handles {
-                logs.push(h.join().expect("par worker panicked"));
+                // A join error would mean a panic escaped the containment
+                // above; treat it as a worker death rather than crashing
+                // the whole region.
+                logs.push(h.join().ok());
             }
             logs
         });
         for (w, log) in logs.into_iter().enumerate() {
-            stats.worker_busy[w] = log.busy;
-            stats.chunks_stolen += log.stolen;
+            match log {
+                Some(log) => {
+                    stats.worker_busy[w] = log.busy;
+                    stats.chunks_stolen += log.stolen;
+                    stats.panics_contained += log.contained;
+                    stats.chunks_recovered += log.recovered;
+                    stats.worker_deaths += usize::from(log.died);
+                }
+                None => stats.worker_deaths += 1,
+            }
         }
+    }
+
+    // Serial fallback: re-run every chunk that never produced output
+    // (abandoned by a dead worker, or never claimed because all workers
+    // died). Fresh attempt numbers get past bounded injected faults; a
+    // chunk that still panics carries a deterministic bug, and its final
+    // payload is re-raised.
+    let mut missing: Vec<usize> = Vec::new();
+    for (c, slot) in slots.iter().enumerate() {
+        let empty = matches!(slot.lock().as_deref(), Ok(None));
+        if empty || slot.is_poisoned() {
+            missing.push(c);
+        }
+    }
+    if !missing.is_empty() {
+        let t = Instant::now();
+        // The fallback is the last line of defense, so it gets its own
+        // fixed retry budget independent of (possibly zero) chunk_retries:
+        // bounded injected faults always clear it, deterministic bugs
+        // still escape after it.
+        const FALLBACK_RETRIES: u32 = 8;
+        for c in missing {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(len);
+            let first_fallback = cfg.chunk_retries + 1;
+            let mut attempt = first_fallback;
+            loop {
+                match run_attempt(c, attempt, lo..hi) {
+                    Ok(out) => {
+                        stats.chunks_recovered += 1;
+                        if let Ok(mut slot) = slots[c].lock() {
+                            *slot = Some(out);
+                        }
+                        break;
+                    }
+                    Err(payload) => {
+                        stats.panics_contained += 1;
+                        if attempt >= first_fallback + FALLBACK_RETRIES.max(cfg.chunk_retries) {
+                            // Persistent panic: a real bug, not a fault.
+                            resume_unwind(payload);
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        stats.worker_busy[0] += t.elapsed();
     }
 
     let out: Vec<R> = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("chunk slot poisoned")
-                .expect("every chunk claimed exactly once")
+                .unwrap_or(None)
+                .expect("serial fallback fills every chunk")
         })
         .collect();
     stats.elapsed = t0.elapsed();
@@ -358,6 +539,9 @@ mod tests {
             items: 10,
             chunks_total: 5,
             chunks_stolen: 1,
+            panics_contained: 2,
+            chunks_recovered: 1,
+            worker_deaths: 1,
             worker_busy: vec![Duration::from_millis(5), Duration::from_millis(3)],
             elapsed: Duration::from_millis(6),
         };
@@ -366,6 +550,9 @@ mod tests {
             items: 6,
             chunks_total: 2,
             chunks_stolen: 0,
+            panics_contained: 1,
+            chunks_recovered: 1,
+            worker_deaths: 0,
             worker_busy: vec![Duration::from_millis(1); 4],
             elapsed: Duration::from_millis(2),
         };
@@ -373,6 +560,9 @@ mod tests {
         assert_eq!(a.n_workers, 4);
         assert_eq!(a.items, 16);
         assert_eq!(a.chunks_total, 7);
+        assert_eq!(a.panics_contained, 3);
+        assert_eq!(a.chunks_recovered, 2);
+        assert_eq!(a.worker_deaths, 1);
         assert_eq!(a.worker_busy.len(), 4);
         assert_eq!(a.elapsed, Duration::from_millis(8));
     }
@@ -381,5 +571,112 @@ mod tests {
     fn serial_config_is_the_default() {
         assert_eq!(ParConfig::default(), ParConfig::serial());
         assert_eq!(ParConfig::workers(0).n_workers, 1);
+        assert_eq!(ParConfig::serial().faults, ChunkFaults::none());
+    }
+
+    #[test]
+    fn zero_duration_stats_report_finite_rates() {
+        // Default (never-run) stats: no NaN/inf from the divides.
+        let stats = ParStats::default();
+        assert_eq!(stats.throughput(), 0.0);
+        assert_eq!(stats.utilization(), 0.0);
+        // Items without elapsed time (merged-empty regions).
+        let stats = ParStats {
+            n_workers: 4,
+            items: 100,
+            chunks_total: 10,
+            worker_busy: vec![Duration::from_millis(1); 4],
+            elapsed: Duration::ZERO,
+            ..ParStats::default()
+        };
+        assert!(stats.throughput().is_finite());
+        assert_eq!(stats.throughput(), 0.0);
+        assert!(stats.utilization().is_finite());
+        assert_eq!(stats.utilization(), 0.0);
+        // Zero-worker stats (empty merge target) stay finite too.
+        let stats = ParStats {
+            items: 5,
+            elapsed: Duration::from_millis(3),
+            ..ParStats::default()
+        };
+        assert!(stats.utilization().is_finite());
+        // The empty-input region itself.
+        let (out, stats) = map_indexed(0, &ParConfig::workers(3), |i: usize| i);
+        assert!(out.is_empty());
+        assert!(stats.throughput().is_finite());
+        assert!(stats.utilization().is_finite());
+    }
+
+    #[test]
+    fn injected_chunk_panics_are_contained_and_output_identical() {
+        silence_contained_panics();
+        let reference: Vec<usize> = (0..500).map(|i| i * 3 + 1).collect();
+        let faults = magellan_faults::FaultPlan::seeded(17).chunk_faults(1);
+        assert!(faults.per_mille > 0);
+        for n_workers in [1, 2, 4, 8] {
+            let cfg = ParConfig::workers(n_workers)
+                .with_chunk_size(7)
+                .with_faults(faults);
+            let (out, stats) = map_indexed(500, &cfg, |i| i * 3 + 1);
+            assert_eq!(out, reference, "{n_workers} workers");
+            assert!(
+                stats.panics_contained > 0,
+                "plan should fire at this rate ({n_workers} workers)"
+            );
+            assert!(stats.chunks_recovered > 0);
+            assert!(stats.chunks_recovered <= stats.chunks_total);
+        }
+    }
+
+    #[test]
+    fn worker_death_falls_back_to_serial_and_recovers() {
+        silence_contained_panics();
+        // chunk_retries = 0: the first contained panic kills the worker,
+        // forcing the dead-worker path and the serial fallback.
+        let faults = magellan_faults::FaultPlan::seeded(23).chunk_faults(2);
+        for n_workers in [1, 2, 4] {
+            let mut cfg = ParConfig::workers(n_workers)
+                .with_chunk_size(3)
+                .with_faults(faults);
+            cfg.chunk_retries = 0;
+            let (out, stats) = map_indexed(300, &cfg, |i| i + 7);
+            assert_eq!(out, (7..307).collect::<Vec<_>>(), "{n_workers} workers");
+            assert!(stats.worker_deaths > 0, "{n_workers} workers: no deaths");
+            assert!(stats.chunks_recovered > 0);
+        }
+    }
+
+    #[test]
+    fn genuine_transient_panic_in_chunk_fn_is_retried() {
+        silence_contained_panics();
+        // A chunk function that panics the first time each chunk is tried
+        // (simulating a transient environment failure), then succeeds.
+        let first_try: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        let cfg = ParConfig::workers(4).with_chunk_size(2);
+        let (out, stats) = chunk_map(100, &cfg, |range| {
+            let c = range.start / 2;
+            if first_try[c].fetch_add(1, Ordering::Relaxed) == 0 {
+                std::panic::panic_any(InjectedFault { chunk: c, attempt: 0 });
+            }
+            range.sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..50).map(|c| 2 * c * 2 + 1).collect();
+        assert_eq!(out, expected);
+        assert_eq!(stats.panics_contained, 50);
+        assert_eq!(stats.chunks_recovered, 50);
+        assert_eq!(stats.worker_deaths, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic bug")]
+    fn persistent_panics_escape_after_serial_fallback() {
+        silence_contained_panics();
+        let cfg = ParConfig::workers(2).with_chunk_size(5);
+        let _ = map_indexed(20, &cfg, |i| {
+            if i == 13 {
+                panic!("deterministic bug");
+            }
+            i
+        });
     }
 }

@@ -14,6 +14,52 @@ use crate::table::Table;
 use crate::value::{Dtype, Value};
 use crate::Result;
 
+/// Physical-line reader that charges every failure to a 1-based line
+/// number. Unlike [`BufRead::lines`], invalid UTF-8 is a [`TableError::Csv`]
+/// naming the offending line and byte offset — not an opaque I/O error —
+/// so a half-corrupted million-row file is diagnosable. Terminators
+/// (`\n` / `\r\n`) are stripped.
+struct CsvLines<R: Read> {
+    reader: BufReader<R>,
+    /// 1-based number of the last line returned.
+    line_no: usize,
+}
+
+impl<R: Read> CsvLines<R> {
+    fn new(reader: R) -> Self {
+        CsvLines {
+            reader: BufReader::new(reader),
+            line_no: 0,
+        }
+    }
+
+    /// The next physical line, or `None` at end of input.
+    fn next_line(&mut self) -> Result<Option<String>> {
+        let mut buf = Vec::new();
+        let n = self.reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line_no += 1;
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        match String::from_utf8(buf) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) => Err(TableError::Csv {
+                line: self.line_no,
+                message: format!(
+                    "invalid UTF-8 at byte {} of the line",
+                    e.utf8_error().valid_up_to()
+                ),
+            }),
+        }
+    }
+}
+
 /// Parse one CSV record starting at `line_no` (1-based, for diagnostics).
 /// Returns the fields. The input must be a full logical record; embedded
 /// newlines inside quotes are handled by the caller feeding joined lines.
@@ -85,14 +131,11 @@ pub fn read_csv<R: Read>(
     name: impl Into<String>,
     schema: Schema,
 ) -> Result<Table> {
-    let mut lines = BufReader::new(reader).lines();
-    let header_line = lines
-        .next()
-        .transpose()?
-        .ok_or(TableError::Csv {
-            line: 1,
-            message: "empty input (missing header)".to_owned(),
-        })?;
+    let mut lines = CsvLines::new(reader);
+    let header_line = lines.next_line()?.ok_or(TableError::Csv {
+        line: 1,
+        message: "empty input (missing header)".to_owned(),
+    })?;
     let header = parse_record(&header_line, 1)?;
     let expected: Vec<&str> = schema.names();
     if header != expected {
@@ -103,11 +146,9 @@ pub fn read_csv<R: Read>(
     }
 
     let mut table = Table::new(name, schema);
-    let mut line_no = 1usize;
     let mut pending: Option<String> = None;
-    for line in lines {
-        let line = line?;
-        line_no += 1;
+    while let Some(line) = lines.next_line()? {
+        let line_no = lines.line_no;
         let record = match pending.take() {
             Some(mut buf) => {
                 buf.push('\n');
@@ -145,7 +186,7 @@ pub fn read_csv<R: Read>(
     }
     if pending.is_some() {
         return Err(TableError::Csv {
-            line: line_no,
+            line: lines.line_no,
             message: "unterminated quoted field at end of input".to_owned(),
         });
     }
@@ -184,8 +225,8 @@ fn parse_cell(raw: &str, dtype: Dtype, line_no: usize) -> Result<Value> {
 /// if every non-empty cell parses as `f64`, else `Bool` if every cell is
 /// `true`/`false`, else `Str`. All-empty columns default to `Str`.
 pub fn read_csv_infer<R: Read>(reader: R, name: impl Into<String>) -> Result<Table> {
-    let mut lines = BufReader::new(reader).lines();
-    let header_line = lines.next().transpose()?.ok_or(TableError::Csv {
+    let mut lines = CsvLines::new(reader);
+    let header_line = lines.next_line()?.ok_or(TableError::Csv {
         line: 1,
         message: "empty input (missing header)".to_owned(),
     })?;
@@ -193,11 +234,9 @@ pub fn read_csv_infer<R: Read>(reader: R, name: impl Into<String>) -> Result<Tab
 
     // Materialize all records first (type inference needs a full pass).
     let mut records: Vec<Vec<String>> = Vec::new();
-    let mut line_no = 1usize;
     let mut pending: Option<String> = None;
-    for line in lines {
-        let line = line?;
-        line_no += 1;
+    while let Some(line) = lines.next_line()? {
+        let line_no = lines.line_no;
         let record = match pending.take() {
             Some(mut buf) => {
                 buf.push('\n');
@@ -228,7 +267,7 @@ pub fn read_csv_infer<R: Read>(reader: R, name: impl Into<String>) -> Result<Tab
     }
     if pending.is_some() {
         return Err(TableError::Csv {
-            line: line_no,
+            line: lines.line_no,
             message: "unterminated quoted field at end of input".to_owned(),
         });
     }
@@ -375,9 +414,60 @@ mod tests {
     }
 
     #[test]
+    fn ragged_record_reports_its_line_number() {
+        let data = "id,name,n\na1,x,1\na2,y,2,extra\n";
+        let err = read_csv(data.as_bytes(), "T", schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("4 fields"), "{msg}");
+        let data = "id,name,n\na1,x,1\na2,y\n";
+        let err = read_csv(data.as_bytes(), "T", schema()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
     fn unterminated_quote_is_rejected() {
         let data = "id,name,n\na1,\"open,1\n";
         assert!(read_csv(data.as_bytes(), "T", schema()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_reports_last_line() {
+        let data = "id,name,n\na1,x,1\na2,\"never closed,2\na3,z,3\n";
+        let err = read_csv(data.as_bytes(), "T", schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unterminated") && msg.contains("line 4"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_csv_error_with_line_number() {
+        let mut data: Vec<u8> = b"id,name,n\na1,ok,1\na2,".to_vec();
+        data.extend_from_slice(&[0xff, 0xfe]); // not UTF-8
+        data.extend_from_slice(b",2\na3,ok,3\n");
+        let err = read_csv(data.as_slice(), "T", schema()).unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 3, .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("invalid UTF-8") && msg.contains("line 3"), "{msg}");
+
+        // Same contract for the inferring reader.
+        let err = read_csv_infer(data.as_slice(), "T").unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 3, .. }), "{err:?}");
+
+        // ... and for a corrupted header.
+        let mut hdr: Vec<u8> = vec![0xC0, 0x80]; // overlong encoding, invalid
+        hdr.extend_from_slice(b",name\nx,y\n");
+        let err = read_csv_infer(hdr.as_slice(), "T").unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn crlf_terminators_are_stripped() {
+        let data = "id,name,n\r\na1,x,1\r\na2,y,2\r\n";
+        let t = read_csv(data.as_bytes(), "T", schema()).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.value_by_name(1, "name").unwrap().as_str(), Some("y"));
     }
 
     #[test]
