@@ -1,0 +1,140 @@
+//! Feature-extraction throughput: the interned tokenize-once-per-record
+//! prepared cache (`magellan_features::PreparedPair`) against the per-pair
+//! scalar path it replaced, at 1/2/4/8 workers.
+//!
+//! Both paths produce **bit-identical** matrices (asserted once below
+//! before measuring), so the axis is pure wall-clock. `pairs/sec` for the
+//! EXPERIMENTS.md record is produced by the `exp_feature_cache` binary;
+//! this bench is the Criterion view of the same comparison.
+//!
+//! Set `BENCH_SMOKE=1` to shrink the workload to a seconds-scale smoke
+//! run (used by the CI bench-smoke job).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use magellan_block::{Blocker, OverlapBlocker};
+use magellan_datagen::domains::persons;
+use magellan_datagen::{DirtModel, ScenarioConfig};
+use magellan_features::{
+    extract_feature_matrix_par, extract_feature_matrix_scalar_par, extract_with_prepared,
+    generate_features, PreparedPair,
+};
+use magellan_par::ParConfig;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn workload() -> (magellan_datagen::EmScenario, Vec<(u32, u32)>) {
+    let n = if smoke() { 250 } else { 1200 };
+    let s = persons(&ScenarioConfig {
+        size_a: n,
+        size_b: n,
+        n_matches: n / 4,
+        dirt: DirtModel::light(),
+        seed: 23,
+    });
+    let (pairs, _) = OverlapBlocker::words("name", 1)
+        .block_par(&s.table_a, &s.table_b, &ParConfig::workers(4))
+        .expect("blocking");
+    let pairs = pairs.pairs().to_vec();
+    (s, pairs)
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let (s, pairs) = workload();
+    let features = generate_features(&s.table_a, &s.table_b, &["id"]).expect("features");
+
+    // Sanity: cached and scalar paths agree bitwise before we time them.
+    let (cached, _) = extract_feature_matrix_par(
+        &pairs,
+        &s.table_a,
+        &s.table_b,
+        &features,
+        &ParConfig::serial(),
+    )
+    .unwrap();
+    let (scalar, _) = extract_feature_matrix_scalar_par(
+        &pairs,
+        &s.table_a,
+        &s.table_b,
+        &features,
+        &ParConfig::serial(),
+    )
+    .unwrap();
+    for (cr, sr) in cached.rows.iter().zip(&scalar.rows) {
+        for (cv, sv) in cr.iter().zip(sr) {
+            assert_eq!(cv.to_bits(), sv.to_bits(), "paths diverged");
+        }
+    }
+
+    let mut g = c.benchmark_group("feature_extraction");
+    g.sample_size(if smoke() { 2 } else { 10 });
+    let tag = format!("{}_pairs", pairs.len());
+    for w in WORKERS {
+        // Per-pair scalar baseline (the pre-cache implementation).
+        g.bench_with_input(BenchmarkId::new(format!("scalar/{tag}"), w), &w, |b, &w| {
+            let cfg = ParConfig::workers(w);
+            b.iter(|| {
+                black_box(
+                    extract_feature_matrix_scalar_par(
+                        black_box(&pairs),
+                        &s.table_a,
+                        &s.table_b,
+                        &features,
+                        &cfg,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+        // Prepared cache, cold: preparation cost included every iteration.
+        g.bench_with_input(
+            BenchmarkId::new(format!("cached_cold/{tag}"), w),
+            &w,
+            |b, &w| {
+                let cfg = ParConfig::workers(w);
+                b.iter(|| {
+                    black_box(
+                        extract_feature_matrix_par(
+                            black_box(&pairs),
+                            &s.table_a,
+                            &s.table_b,
+                            &features,
+                            &cfg,
+                        )
+                        .unwrap(),
+                    )
+                });
+            },
+        );
+        // Prepared cache, warm: records already prepared (the Falcon
+        // cross-stage shape — second and later extractions over the same
+        // PreparedPair).
+        g.bench_with_input(
+            BenchmarkId::new(format!("cached_warm/{tag}"), w),
+            &w,
+            |b, &w| {
+                let cfg = ParConfig::workers(w);
+                let mut prepared = PreparedPair::new(&s.table_a, &s.table_b);
+                extract_with_prepared(&mut prepared, &pairs, &features, &cfg).unwrap();
+                b.iter(|| {
+                    black_box(
+                        extract_with_prepared(
+                            black_box(&mut prepared),
+                            &pairs,
+                            &features,
+                            &cfg,
+                        )
+                        .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(feature_extraction, bench_feature_extraction);
+criterion_main!(feature_extraction);

@@ -15,17 +15,19 @@
 //! intersection across rules — so rule blocking scales without touching
 //! the cross product.
 
-use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use std::collections::HashMap;
+
+use magellan_simjoin::{join_tokenized, SetSimMeasure, TokenizedCollection};
 use magellan_table::Table;
-use magellan_textsim::setsim;
 use magellan_textsim::tokenize::{AlphanumericTokenizer, QgramTokenizer, Tokenizer};
+use magellan_textsim::{intern, setsim, TokenInterner};
 
 use crate::blockers::Blocker;
 use crate::candidate::CandidateSet;
 
 /// Tokenization spec for a rule feature (kept as plain data so rules are
 /// cloneable and printable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TokSpec {
     /// Lowercased alphanumeric word tokens.
     Word,
@@ -34,11 +36,22 @@ pub enum TokSpec {
 }
 
 impl TokSpec {
-    /// Materialize the tokenizer.
+    /// Materialize the tokenizer as a boxed trait object (for callers
+    /// that need dynamic dispatch, e.g. the sim-join builder).
     pub fn tokenizer(&self) -> Box<dyn Tokenizer> {
         match self {
             TokSpec::Word => Box::new(AlphanumericTokenizer::as_set()),
             TokSpec::Qgram(q) => Box::new(QgramTokenizer::as_set(*q)),
+        }
+    }
+
+    /// Set-semantics tokenization via a stack-constructed concrete
+    /// tokenizer — no `Box<dyn Tokenizer>` allocation, so this is safe to
+    /// call inside pair loops.
+    pub fn tokenize_set(&self, s: &str) -> Vec<String> {
+        match self {
+            TokSpec::Word => AlphanumericTokenizer::as_set().tokenize(s),
+            TokSpec::Qgram(q) => QgramTokenizer::as_set(*q).tokenize(s),
         }
     }
 
@@ -74,9 +87,9 @@ impl SimFeature {
         match self {
             SimFeature::ExactMatch => f64::from(a.trim().to_lowercase() == b.trim().to_lowercase()),
             SimFeature::Jaccard(t) | SimFeature::Cosine(t) | SimFeature::Dice(t) => {
-                let tok = t.tokenizer();
-                let ta = tok.tokenize(a);
-                let tb = tok.tokenize(b);
+                // Stack-dispatched tokenization: no per-pair boxing.
+                let ta = t.tokenize_set(a);
+                let tb = t.tokenize_set(b);
                 if ta.is_empty() || tb.is_empty() {
                     return 0.0;
                 }
@@ -189,15 +202,55 @@ impl RuleBasedBlocker {
             .collect())
     }
 
+    /// Build each distinct `(l_attr, r_attr, tokenization)` combination's
+    /// [`TokenizedCollection`] exactly once, shared by every predicate of
+    /// every rule through one [`TokenInterner`]. Before this cache, a rule
+    /// set with *k* predicates over the same column pair re-tokenized both
+    /// tables *k* times.
+    fn build_collections(
+        &self,
+        a: &Table,
+        b: &Table,
+    ) -> magellan_table::Result<HashMap<(String, String, TokSpec), TokenizedCollection>> {
+        let mut interner = TokenInterner::new();
+        let mut collections = HashMap::new();
+        for rule in &self.rules {
+            for pred in &rule.predicates {
+                let (SimFeature::Jaccard(ts)
+                | SimFeature::Cosine(ts)
+                | SimFeature::Dice(ts)) = pred.feature
+                else {
+                    continue;
+                };
+                let key = (pred.l_attr.clone(), pred.r_attr.clone(), ts);
+                if collections.contains_key(&key) {
+                    continue;
+                }
+                let la = Self::column_strings(a, &pred.l_attr)?;
+                let rb = Self::column_strings(b, &pred.r_attr)?;
+                let tok = ts.tokenizer();
+                collections.insert(
+                    key,
+                    TokenizedCollection::build_with_interner(
+                        &la,
+                        &rb,
+                        tok.as_ref(),
+                        &mut interner,
+                    ),
+                );
+            }
+        }
+        Ok(collections)
+    }
+
     /// Survivors of one predicate's *complement* (`sim > threshold`),
-    /// computed as a similarity join.
+    /// computed as a similarity join over the shared prebuilt collections.
     fn violators(
         pred: &Predicate,
         a: &Table,
         b: &Table,
+        collections: &HashMap<(String, String, TokSpec), TokenizedCollection>,
     ) -> magellan_table::Result<CandidateSet> {
-        let la = Self::column_strings(a, &pred.l_attr)?;
-        let rb = Self::column_strings(b, &pred.r_attr)?;
         match pred.feature {
             SimFeature::ExactMatch => {
                 // sim > t for t < 1 means equality; for t >= 1 nothing
@@ -221,8 +274,11 @@ impl RuleBasedBlocker {
                     SimFeature::Dice(_) => SetSimMeasure::Dice(pred.threshold.max(1e-6)),
                     SimFeature::ExactMatch => unreachable!(),
                 };
-                let tok = ts.tokenizer();
-                let joined = set_sim_join(&la, &rb, tok.as_ref(), measure);
+                let key = (pred.l_attr.clone(), pred.r_attr.clone(), ts);
+                let coll = collections
+                    .get(&key)
+                    .expect("collection prebuilt for every set predicate");
+                let joined = join_tokenized(coll, measure);
                 // The join returns sim >= threshold; the complement needs
                 // the strict sim > threshold.
                 Ok(joined
@@ -234,17 +290,19 @@ impl RuleBasedBlocker {
         }
     }
 
-    /// Apply the rules to an existing candidate set (exact, pairwise).
+    /// Apply the rules to an existing candidate set (exact, pairwise
+    /// semantics — identical to evaluating [`BlockingRule::fires`] per
+    /// pair, but each referenced record's attribute is tokenized and
+    /// interned **once** instead of once per pair it appears in).
     pub fn refine(&self, cands: &CandidateSet, a: &Table, b: &Table) -> CandidateSet {
+        let prep = PreparedRuleEval::build(&self.rules, cands, a, b);
         cands
             .pairs()
             .iter()
             .copied()
             .filter(|&(ra, rb)| {
-                !self
-                    .rules
-                    .iter()
-                    .any(|rule| rule.fires(a, ra as usize, b, rb as usize))
+                !(0..self.rules.len())
+                    .any(|i| prep.rule_fires(&self.rules[i], i, ra as usize, rb as usize))
             })
             .collect()
     }
@@ -266,12 +324,16 @@ impl Blocker for RuleBasedBlocker {
 
     fn block(&self, a: &Table, b: &Table) -> magellan_table::Result<CandidateSet> {
         assert!(!self.rules.is_empty(), "rule-based blocker needs at least one rule");
+        // Tokenize each referenced column pair once, shared across all
+        // predicates of all rules.
+        let collections = self.build_collections(a, b)?;
         // Survivors = ∩_rules ∪_predicates violators(predicate).
         let mut result: Option<CandidateSet> = None;
         for rule in &self.rules {
             let mut rule_survivors = CandidateSet::default();
             for pred in &rule.predicates {
-                rule_survivors = rule_survivors.union(&Self::violators(pred, a, b)?);
+                rule_survivors =
+                    rule_survivors.union(&Self::violators(pred, a, b, &collections)?);
             }
             result = Some(match result {
                 None => rule_survivors,
@@ -279,6 +341,160 @@ impl Blocker for RuleBasedBlocker {
             });
         }
         Ok(result.unwrap_or_default())
+    }
+}
+
+/// The shape a predicate needs an attribute prepared into for pairwise
+/// refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RulePrep {
+    /// Trimmed lowercased string (exact-match predicates).
+    Lower,
+    /// Sorted deduplicated interned id set of the **raw** string's tokens
+    /// — [`SimFeature::similarity`] tokenizes the un-normalized value, so
+    /// the prepared path must too.
+    Set(TokSpec),
+}
+
+/// One prepared refinement cell. `None` at the record level means the
+/// value was absent or not a string ([`magellan_table::ValueRef::as_str`]
+/// returned `None`), which scores 0.0 exactly like the per-pair path.
+#[derive(Debug, Clone)]
+enum RuleCell {
+    Lower(String),
+    Ids(Vec<u32>),
+}
+
+/// Tokenize-once-per-record state for [`RuleBasedBlocker::refine`]: each
+/// distinct `(side, attribute, shape)` combination referenced by any
+/// predicate is prepared once per candidate record, and set predicates
+/// then evaluate as interned merge intersections
+/// ([`magellan_textsim::intern`]) — bit-identical to
+/// [`SimFeature::similarity`] on the same values.
+struct PreparedRuleEval {
+    l_cols: Vec<Vec<Option<RuleCell>>>,
+    r_cols: Vec<Vec<Option<RuleCell>>>,
+    /// `slots[rule][pred] = (index into l_cols, index into r_cols)`.
+    slots: Vec<Vec<(usize, usize)>>,
+}
+
+impl PreparedRuleEval {
+    fn build(rules: &[BlockingRule], cands: &CandidateSet, a: &Table, b: &Table) -> Self {
+        fn shape(f: SimFeature) -> RulePrep {
+            match f {
+                SimFeature::ExactMatch => RulePrep::Lower,
+                SimFeature::Jaccard(t) | SimFeature::Cosine(t) | SimFeature::Dice(t) => {
+                    RulePrep::Set(t)
+                }
+            }
+        }
+        // Resolve each predicate to a (left slot, right slot) pair,
+        // deduplicating (attr, shape) combinations per side.
+        let mut l_index: HashMap<(String, RulePrep), usize> = HashMap::new();
+        let mut r_index: HashMap<(String, RulePrep), usize> = HashMap::new();
+        let mut l_specs: Vec<(String, RulePrep)> = Vec::new();
+        let mut r_specs: Vec<(String, RulePrep)> = Vec::new();
+        let slots: Vec<Vec<(usize, usize)>> = rules
+            .iter()
+            .map(|rule| {
+                rule.predicates
+                    .iter()
+                    .map(|p| {
+                        let sh = shape(p.feature);
+                        let li = *l_index
+                            .entry((p.l_attr.clone(), sh))
+                            .or_insert_with(|| {
+                                l_specs.push((p.l_attr.clone(), sh));
+                                l_specs.len() - 1
+                            });
+                        let ri = *r_index
+                            .entry((p.r_attr.clone(), sh))
+                            .or_insert_with(|| {
+                                r_specs.push((p.r_attr.clone(), sh));
+                                r_specs.len() - 1
+                            });
+                        (li, ri)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Which records do the candidates reference?
+        let mut l_ref = vec![false; a.nrows()];
+        let mut r_ref = vec![false; b.nrows()];
+        for &(ra, rb) in cands.pairs() {
+            l_ref[ra as usize] = true;
+            r_ref[rb as usize] = true;
+        }
+
+        // One shared interner across both sides and all combinations.
+        let mut interner = TokenInterner::new();
+        let fill = |table: &Table,
+                        referenced: &[bool],
+                        specs: &[(String, RulePrep)],
+                        interner: &mut TokenInterner|
+         -> Vec<Vec<Option<RuleCell>>> {
+            specs
+                .iter()
+                .map(|(attr, sh)| {
+                    let mut cells: Vec<Option<RuleCell>> = vec![None; table.nrows()];
+                    // Unknown attribute ⇒ every value is absent ⇒ sim 0.0,
+                    // exactly like the `value_by_name(..).ok()` per-pair path.
+                    let Ok(idx) = table.schema().try_index_of(attr) else {
+                        return cells;
+                    };
+                    for (r, &wanted) in referenced.iter().enumerate() {
+                        if !wanted {
+                            continue;
+                        }
+                        let Some(s) = table.value(r, idx).as_str() else {
+                            continue;
+                        };
+                        cells[r] = Some(match sh {
+                            RulePrep::Lower => RuleCell::Lower(s.trim().to_lowercase()),
+                            RulePrep::Set(ts) => {
+                                RuleCell::Ids(interner.intern_set(&ts.tokenize_set(s)))
+                            }
+                        });
+                    }
+                    cells
+                })
+                .collect()
+        };
+        let l_cols = fill(a, &l_ref, &l_specs, &mut interner);
+        let r_cols = fill(b, &r_ref, &r_specs, &mut interner);
+        PreparedRuleEval {
+            l_cols,
+            r_cols,
+            slots,
+        }
+    }
+
+    /// Does this rule drop the pair? Mirrors [`BlockingRule::fires`] /
+    /// [`Predicate::fires`] exactly (same thresholding epsilon, same
+    /// missing-value and empty-tokenization conventions).
+    fn rule_fires(&self, rule: &BlockingRule, rule_idx: usize, ra: usize, rb: usize) -> bool {
+        rule.predicates.iter().enumerate().all(|(j, p)| {
+            let (li, ri) = self.slots[rule_idx][j];
+            let sim = match (&self.l_cols[li][ra], &self.r_cols[ri][rb]) {
+                (Some(RuleCell::Lower(sa)), Some(RuleCell::Lower(sb))) => f64::from(sa == sb),
+                (Some(RuleCell::Ids(ia)), Some(RuleCell::Ids(ib))) => {
+                    if ia.is_empty() || ib.is_empty() {
+                        0.0
+                    } else {
+                        match p.feature {
+                            SimFeature::Jaccard(_) => intern::jaccard_ids(ia, ib),
+                            SimFeature::Cosine(_) => intern::cosine_ids(ia, ib),
+                            SimFeature::Dice(_) => intern::dice_ids(ia, ib),
+                            SimFeature::ExactMatch => unreachable!(),
+                        }
+                    }
+                }
+                // Either side missing / non-string ⇒ 0.0 (drop-rules fire).
+                _ => 0.0,
+            };
+            sim <= p.threshold + 1e-12
+        })
     }
 }
 
@@ -441,6 +657,91 @@ mod tests {
     #[should_panic(expected = "at least one rule")]
     fn empty_rule_list_panics() {
         RuleBasedBlocker::new(vec![]);
+    }
+
+    /// The interned prepared refine path is exactly the per-pair
+    /// [`BlockingRule::fires`] evaluation, including null / non-string
+    /// values, unknown attributes, and empty tokenizations.
+    #[test]
+    fn prepared_refine_matches_per_pair_fires() {
+        let (a, b) = tables();
+        let rules = vec![
+            BlockingRule {
+                predicates: vec![
+                    Predicate {
+                        l_attr: "isbn".into(),
+                        r_attr: "isbn".into(),
+                        feature: SimFeature::ExactMatch,
+                        threshold: 0.5,
+                    },
+                    Predicate {
+                        l_attr: "title".into(),
+                        r_attr: "title".into(),
+                        feature: SimFeature::Jaccard(TokSpec::Word),
+                        threshold: 0.3,
+                    },
+                ],
+            },
+            BlockingRule {
+                predicates: vec![
+                    Predicate {
+                        l_attr: "title".into(),
+                        r_attr: "title".into(),
+                        feature: SimFeature::Cosine(TokSpec::Qgram(3)),
+                        threshold: 0.25,
+                    },
+                    Predicate {
+                        // Unknown attribute: always scores 0.0.
+                        l_attr: "nope".into(),
+                        r_attr: "title".into(),
+                        feature: SimFeature::Dice(TokSpec::Word),
+                        threshold: 0.9,
+                    },
+                ],
+            },
+        ];
+        let blocker = RuleBasedBlocker::new(rules);
+        let all: CandidateSet = (0..a.nrows() as u32)
+            .flat_map(|ra| (0..b.nrows() as u32).map(move |rb| (ra, rb)))
+            .collect();
+        let prepared = blocker.refine(&all, &a, &b);
+        // Reference: direct per-pair rule evaluation.
+        let reference: CandidateSet = all
+            .pairs()
+            .iter()
+            .copied()
+            .filter(|&(ra, rb)| {
+                !blocker
+                    .rules
+                    .iter()
+                    .any(|rule| rule.fires(&a, ra as usize, &b, rb as usize))
+            })
+            .collect();
+        assert_eq!(prepared, reference);
+    }
+
+    /// Several predicates over the same column pair share one tokenized
+    /// collection in the join path — output unchanged.
+    #[test]
+    fn shared_collections_across_predicates_keep_output() {
+        let (a, b) = tables();
+        // Two rules both thresholding word-jaccard on title (one shared
+        // collection) at different cutoffs, plus a qgram predicate.
+        let rule = |thr: f64| BlockingRule {
+            predicates: vec![Predicate {
+                l_attr: "title".into(),
+                r_attr: "title".into(),
+                feature: SimFeature::Jaccard(TokSpec::Word),
+                threshold: thr,
+            }],
+        };
+        let blocker = RuleBasedBlocker::new(vec![rule(0.2), rule(0.4)]);
+        let c = blocker.block(&a, &b).unwrap();
+        // Reference: cross product refined pairwise.
+        let all: CandidateSet = (0..a.nrows() as u32)
+            .flat_map(|ra| (0..b.nrows() as u32).map(move |rb| (ra, rb)))
+            .collect();
+        assert_eq!(c, blocker.refine(&all, &a, &b));
     }
 
     #[test]

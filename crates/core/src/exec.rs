@@ -95,6 +95,25 @@ impl PhaseCounters {
         total.merge(&self.matching);
         total.worker_busy
     }
+
+    /// Prepared-cache counters of the matching phase's feature
+    /// extraction: records prepared, tokenize calls spent and saved
+    /// versus the per-pair scalar path, lookups/hits, and the shared
+    /// interner's vocabulary size (see [`magellan_par::CacheStats`]).
+    pub fn feature_cache(&self) -> magellan_par::CacheStats {
+        self.matching.cache
+    }
+
+    /// Tokenizer invocations the prepared cache avoided during matching,
+    /// relative to the per-pair scalar extraction path.
+    pub fn tokenize_calls_saved(&self) -> usize {
+        self.matching.cache.tokenize_calls_saved
+    }
+
+    /// Fraction of prepared-cell lookups served by earlier preparation.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.matching.cache.hit_rate()
+    }
 }
 
 /// What the self-healing machinery did during a run: how much damage was
@@ -513,6 +532,23 @@ mod tests {
         assert!(report.counters.chunks_stolen() <= report.counters.blocking.chunks_total
             + report.counters.matching.chunks_total);
         assert_eq!(report.counters.worker_busy().len(), 3);
+        // Prepared-cache counters of the matching-phase extraction: the
+        // workflow has one token feature (word jaccard on name), so
+        // records were prepared, tokenize calls were spent (once per
+        // referenced record), and — with pairs ≫ records — far more calls
+        // were saved versus the per-pair scalar path.
+        let cache = report.counters.feature_cache();
+        assert!(cache.records_prepared > 0, "{cache:?}");
+        assert!(cache.tokenize_calls > 0, "{cache:?}");
+        assert!(cache.interner_tokens > 0, "{cache:?}");
+        assert!(
+            report.counters.tokenize_calls_saved() > cache.tokenize_calls,
+            "{cache:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.counters.cache_hit_rate()),
+            "{cache:?}"
+        );
     }
 
     #[test]

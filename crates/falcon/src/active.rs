@@ -1,5 +1,11 @@
 //! Query-by-committee active learning over a random forest (the learning
 //! core of Falcon's Steps 2 and 5).
+//!
+//! The pool matrices scored here are extracted through the shared
+//! tokenize-once-per-record cache
+//! ([`magellan_features::PreparedPair`]) by `run_falcon`/`run_smurf`, so
+//! both stages' pools reuse one interned vocabulary and per-record token
+//! sets; this module itself only ever touches the dense `f64` rows.
 
 use magellan_features::FeatureMatrix;
 use magellan_ml::{Dataset, RandomForestClassifier, RandomForestLearner};

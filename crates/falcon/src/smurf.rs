@@ -12,8 +12,9 @@
 
 use magellan_block::{Blocker, CandidateSet, OverlapBlocker, RuleBasedBlocker};
 use magellan_core::labeling::Labeler;
-use magellan_features::extract_feature_matrix;
+use magellan_features::{extract_with_prepared, PreparedPair};
 use magellan_ml::{Dataset, RandomForestLearner};
+use magellan_par::ParConfig;
 use magellan_table::Table;
 
 use crate::active::active_learn;
@@ -47,10 +48,16 @@ pub fn run_smurf(
     labeler: &mut dyn Labeler,
     cfg: &FalconConfig,
 ) -> magellan_table::Result<FalconReport> {
+    // One prepared cache across both stages (same cross-stage reuse as
+    // Falcon: sample records seen again in the candidate set are
+    // tokenized once).
+    let mut prepared = PreparedPair::new(a, b);
+
     // ---- Blocking stage, zero questions ----
     let s_pairs = sample_pairs(a, b, a_key, b_key, cfg.sample_size, cfg.seed);
     let bfeatures = blocking_features(a, b, &[a_key, b_key])?;
-    let s_matrix = extract_feature_matrix(&s_pairs, a, b, &bfeatures)?;
+    let (s_matrix, _) =
+        extract_with_prepared(&mut prepared, &s_pairs, &bfeatures, &ParConfig::serial())?;
 
     // Pseudo-labels from the proxy-score extremes.
     let mut scored: Vec<(f64, usize)> = s_matrix
@@ -130,7 +137,12 @@ pub fn run_smurf(
 
     // ---- Matching stage: unchanged Falcon (labels still needed) ----
     let mfeatures = magellan_features::generate_features(a, b, &[a_key, b_key])?;
-    let c_matrix = extract_feature_matrix(candidates.pairs(), a, b, &mfeatures)?;
+    let (c_matrix, _) = extract_with_prepared(
+        &mut prepared,
+        candidates.pairs(),
+        &mfeatures,
+        &ParConfig::serial(),
+    )?;
     if c_matrix.is_empty() {
         return Ok(FalconReport {
             questions_blocking: 0,

@@ -3,8 +3,9 @@
 use magellan_block::{Blocker, CandidateSet, OverlapBlocker, RuleBasedBlocker};
 use magellan_core::labeling::Labeler;
 use magellan_features::{
-    extract_feature_matrix, generate_features, Feature, FeatureKind,
+    extract_with_prepared, generate_features, Feature, FeatureKind, PreparedPair,
 };
+use magellan_par::ParConfig;
 use magellan_simjoin::{set_sim_join, SetSimMeasure};
 use magellan_table::Table;
 use magellan_textsim::tokenize::AlphanumericTokenizer;
@@ -216,10 +217,18 @@ pub fn run_falcon(
     labeler: &mut dyn Labeler,
     cfg: &FalconConfig,
 ) -> magellan_table::Result<FalconReport> {
+    // One record-preparation cache spans both Falcon stages: the
+    // blocking-stage sample matrix and the matching-stage candidate
+    // matrix share most (attribute, tokenizer) combinations, so records
+    // appearing in both the sample and the candidate set are normalized,
+    // tokenized, and interned exactly once.
+    let mut prepared = PreparedPair::new(a, b);
+
     // ---- Blocking stage (Fig. 3a) ----
     let s_pairs = sample_pairs(a, b, a_key, b_key, cfg.sample_size, cfg.seed);
     let bfeatures = blocking_features(a, b, &[a_key, b_key])?;
-    let s_matrix = extract_feature_matrix(&s_pairs, a, b, &bfeatures)?;
+    let (s_matrix, _) =
+        extract_with_prepared(&mut prepared, &s_pairs, &bfeatures, &ParConfig::serial())?;
 
     let q0 = labeler.questions_asked();
     let outcome = active_learn(
@@ -315,8 +324,16 @@ pub fn run_falcon(
     };
 
     // ---- Matching stage (Fig. 3b) ----
+    // Reuses the blocking stage's prepared records and interner: only
+    // combinations new to the matching feature set (and records new to
+    // the candidate set) are tokenized here.
     let mfeatures = generate_features(a, b, &[a_key, b_key])?;
-    let c_matrix = extract_feature_matrix(candidates.pairs(), a, b, &mfeatures)?;
+    let (c_matrix, _) = extract_with_prepared(
+        &mut prepared,
+        candidates.pairs(),
+        &mfeatures,
+        &ParConfig::serial(),
+    )?;
     if c_matrix.is_empty() {
         return Ok(FalconReport {
             questions_blocking,

@@ -15,10 +15,24 @@ pub enum TokSpecF {
 }
 
 impl TokSpecF {
-    fn tokenizer(&self) -> Box<dyn Tokenizer> {
+    /// Boxed trait-object tokenizer — for callers that need dynamic
+    /// dispatch (e.g. handing a tokenizer to the sim-join builder). The
+    /// per-pair scalar path uses [`TokSpecF::tokenize_set`] instead so no
+    /// heap allocation happens inside pair loops.
+    pub fn tokenizer(&self) -> Box<dyn Tokenizer> {
         match self {
             TokSpecF::Word => Box::new(AlphanumericTokenizer::as_set()),
             TokSpecF::Qgram(q) => Box::new(QgramTokenizer::as_set(*q)),
+        }
+    }
+
+    /// Set-semantics tokenization without constructing a boxed tokenizer:
+    /// the concrete tokenizers are zero/trivially-sized stack values, so
+    /// this is allocation-free apart from the token vector itself.
+    pub fn tokenize_set(&self, s: &str) -> Vec<String> {
+        match self {
+            TokSpecF::Word => AlphanumericTokenizer::as_set().tokenize(s),
+            TokSpecF::Qgram(q) => QgramTokenizer::as_set(*q).tokenize(s),
         }
     }
 
@@ -152,6 +166,8 @@ impl Feature {
                     FeatureKind::Jaro => seqsim::jaro(&sa, &sb),
                     FeatureKind::JaroWinkler => seqsim::jaro_winkler(&sa, &sb),
                     FeatureKind::MongeElkanJw => {
+                        // Stack-constructed (zero-sized) tokenizer: no
+                        // per-pair heap allocation.
                         let tok = AlphanumericTokenizer::new();
                         setsim::monge_elkan_jw(&tok.tokenize(&sa), &tok.tokenize(&sb))
                     }
@@ -159,9 +175,11 @@ impl Feature {
                     | FeatureKind::Cosine(t)
                     | FeatureKind::Dice(t)
                     | FeatureKind::OverlapCoeff(t) => {
-                        let tok = t.tokenizer();
-                        let ta = tok.tokenize(&sa);
-                        let tb = tok.tokenize(&sb);
+                        // `tokenize_set` dispatches to a concrete stack
+                        // tokenizer — the old per-pair `Box<dyn Tokenizer>`
+                        // construction is hoisted away entirely.
+                        let ta = t.tokenize_set(&sa);
+                        let tb = t.tokenize_set(&sb);
                         if ta.is_empty() || tb.is_empty() {
                             return f64::NAN;
                         }

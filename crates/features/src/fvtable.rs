@@ -39,8 +39,13 @@ impl FeatureMatrix {
 
 /// Evaluate `features` for every candidate pair.
 ///
-/// Attribute lookups are resolved once against the schemas (not per pair),
-/// so extraction is a tight loop over column storage.
+/// Routed through the tokenize-once-per-record prepared cache
+/// ([`crate::prepared::PreparedPair`]): each referenced record's attribute
+/// is normalized and tokenized once per distinct `(attribute, tokenizer)`
+/// combination, and set measures run as interned-`u32` merge
+/// intersections. Bit-identical to the per-pair scalar path
+/// ([`extract_feature_matrix_scalar`]) — pinned by test and by the golden
+/// e2e suite.
 pub fn extract_feature_matrix(
     pairs: &[(u32, u32)],
     a: &Table,
@@ -50,12 +55,42 @@ pub fn extract_feature_matrix(
     extract_feature_matrix_par(pairs, a, b, features, &ParConfig::serial()).map(|(m, _)| m)
 }
 
-/// Parallel [`extract_feature_matrix`]: pair chunks are claimed by the
-/// `magellan-par` work-stealing pool and merged in chunk order, so the
-/// matrix is **bit-identical** to the serial extraction for any worker
-/// count (each row is a pure function of its pair). Also returns the
-/// region's [`ParStats`].
+/// Parallel [`extract_feature_matrix`]: records are prepared once
+/// (serially — interner ids are assigned in deterministic first-seen
+/// order), then pair chunks are claimed by the `magellan-par`
+/// work-stealing pool and merged in chunk order, so the matrix is
+/// **bit-identical** to the serial extraction for any worker count (each
+/// row is a pure function of its pair over immutable prepared data). The
+/// returned [`ParStats`] includes the cache counters
+/// ([`magellan_par::CacheStats`]) for the call.
 pub fn extract_feature_matrix_par(
+    pairs: &[(u32, u32)],
+    a: &Table,
+    b: &Table,
+    features: &[Feature],
+    cfg: &ParConfig,
+) -> magellan_table::Result<(FeatureMatrix, ParStats)> {
+    let mut prepared = crate::prepared::PreparedPair::new(a, b);
+    crate::prepared::extract_with_prepared(&mut prepared, pairs, features, cfg)
+}
+
+/// The reference per-pair scalar path: every pair re-normalizes and
+/// re-tokenizes both attribute values through [`Feature::compute`].
+///
+/// Kept (a) as the pinned bit-identity reference for the prepared cache
+/// and (b) as the baseline side of the `feature_extraction` benchmark.
+pub fn extract_feature_matrix_scalar(
+    pairs: &[(u32, u32)],
+    a: &Table,
+    b: &Table,
+    features: &[Feature],
+) -> magellan_table::Result<FeatureMatrix> {
+    extract_feature_matrix_scalar_par(pairs, a, b, features, &ParConfig::serial()).map(|(m, _)| m)
+}
+
+/// Parallel [`extract_feature_matrix_scalar`] (the pre-cache
+/// implementation of [`extract_feature_matrix_par`], unchanged).
+pub fn extract_feature_matrix_scalar_par(
     pairs: &[(u32, u32)],
     a: &Table,
     b: &Table,

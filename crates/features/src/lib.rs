@@ -20,15 +20,28 @@
 //! candidate row pairs, yielding the dense matrix the matchers in
 //! `magellan-ml` consume. Missing attribute values produce `NaN` entries,
 //! which the learners are specified to handle.
+//!
+//! Batch extraction runs through the [`prepared`] layer: a
+//! [`prepared::PreparedPair`] cache tokenizes each referenced record
+//! **once** per distinct `(attribute, tokenizer)` combination, interning
+//! tokens into dense `u32` ids so the set measures become allocation-free
+//! merge intersections — bit-identical to the per-pair scalar path, which
+//! is kept as [`fvtable::extract_feature_matrix_scalar`] for reference and
+//! benchmarking.
 
 #![warn(missing_docs)]
 
 pub mod autogen;
 pub mod feature;
 pub mod fvtable;
+pub mod prepared;
 pub mod types;
 
 pub use autogen::generate_features;
 pub use feature::{Feature, FeatureKind, TokSpecF};
-pub use fvtable::{extract_feature_matrix, extract_feature_matrix_par, FeatureMatrix};
+pub use fvtable::{
+    extract_feature_matrix, extract_feature_matrix_par, extract_feature_matrix_scalar,
+    extract_feature_matrix_scalar_par, FeatureMatrix,
+};
+pub use prepared::{extract_with_prepared, FeaturePlan, PreparedPair};
 pub use types::{infer_attr_type, AttrType};

@@ -1,0 +1,648 @@
+//! The tokenize-once-per-record prepared layer for batch feature
+//! extraction.
+//!
+//! The scalar path ([`crate::Feature::compute`]) re-normalizes and
+//! re-tokenizes both attribute values for **every pair × every feature**.
+//! But a feature set only ever needs each record's attribute in a handful
+//! of distinct shapes — the feature set's distinct
+//! `(attribute, normalization, tokenizer)` combinations — and each shape
+//! needs computing **once per record**, not once per pair.
+//!
+//! [`PreparedPair`] is that cache. Given two tables and a feature list it
+//! derives the distinct combinations ([`FeaturePlan`]), prepares exactly
+//! the records the candidate pairs reference (lazily, so repeated
+//! extractions over the same tables — e.g. Falcon's blocking-stage and
+//! matching-stage matrices — reuse earlier work), and computes feature
+//! rows from the prepared shapes:
+//!
+//! * trimmed + lowercased strings for the sequence measures;
+//! * ordered token *bags* for Monge–Elkan;
+//! * **sorted, deduplicated interned `u32` token sets** (one shared
+//!   [`TokenInterner`] across both tables) for the set measures, which
+//!   then run as allocation-free merge intersections
+//!   ([`magellan_textsim::intern`]);
+//! * parsed floats for the numeric measures.
+//!
+//! ## Bit-identity with the scalar path
+//!
+//! Every prepared shape is produced by the *same* normalization and
+//! tokenizer calls the scalar path makes per pair, and the id kernels are
+//! arithmetic-identical to the string measures (equal strings ⇔ equal
+//! ids, so `|A|`, `|B|`, `|A ∩ B|` — the only inputs of any set measure —
+//! are unchanged). `fvtable` pins this with a bitwise equivalence test,
+//! and the golden e2e + chaos suites pin it end to end.
+
+use std::collections::HashMap;
+
+use magellan_par::{CacheStats, ParConfig, ParStats};
+use magellan_table::Table;
+use magellan_textsim::intern::{self, TokenInterner};
+use magellan_textsim::tokenize::{AlphanumericTokenizer, Tokenizer};
+use magellan_textsim::{numeric, seqsim, setsim};
+
+use crate::feature::{Feature, FeatureKind, TokSpecF};
+use crate::fvtable::FeatureMatrix;
+
+/// The shape a feature needs an attribute value prepared into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PrepSpec {
+    /// Trimmed, lowercased display string (sequence measures, exact match).
+    LowerStr,
+    /// Ordered lowercased alphanumeric token bag (Monge–Elkan).
+    WordBag,
+    /// Sorted deduplicated interned id set over word tokens.
+    WordSet,
+    /// Sorted deduplicated interned id set over padded q-grams.
+    QgramSet(usize),
+    /// Parsed float (numeric measures).
+    Num,
+}
+
+impl PrepSpec {
+    fn of(kind: FeatureKind) -> PrepSpec {
+        match kind {
+            FeatureKind::ExactMatch
+            | FeatureKind::LevSim
+            | FeatureKind::Jaro
+            | FeatureKind::JaroWinkler => PrepSpec::LowerStr,
+            FeatureKind::MongeElkanJw => PrepSpec::WordBag,
+            FeatureKind::Jaccard(t)
+            | FeatureKind::Cosine(t)
+            | FeatureKind::Dice(t)
+            | FeatureKind::OverlapCoeff(t) => match t {
+                TokSpecF::Word => PrepSpec::WordSet,
+                TokSpecF::Qgram(q) => PrepSpec::QgramSet(q),
+            },
+            FeatureKind::ExactNum | FeatureKind::AbsDiff | FeatureKind::RelDiff => PrepSpec::Num,
+        }
+    }
+
+    /// Does preparing this shape invoke a tokenizer?
+    fn tokenizes(&self) -> bool {
+        matches!(
+            self,
+            PrepSpec::WordBag | PrepSpec::WordSet | PrepSpec::QgramSet(_)
+        )
+    }
+}
+
+/// One prepared cell: an attribute value in one shape.
+#[derive(Debug, Clone)]
+enum PrepValue {
+    /// The value was null (every measure yields `NaN`).
+    Null,
+    /// Trimmed lowercased string.
+    Str(String),
+    /// Ordered token bag.
+    Bag(Vec<String>),
+    /// Sorted deduplicated interned token set.
+    Set(Vec<u32>),
+    /// Parsed float.
+    Num(f64),
+    /// Non-null but not parseable as a number (numeric measures → `NaN`).
+    NotNum,
+}
+
+/// One `(column, shape)` combination's cells, lazily filled per record.
+#[derive(Debug)]
+struct PrepColumn {
+    col: usize,
+    spec: PrepSpec,
+    /// `None` = not yet prepared; `Some(_)` = prepared exactly once.
+    cells: Vec<Option<PrepValue>>,
+}
+
+/// All prepared combinations of one table.
+#[derive(Debug, Default)]
+struct PreparedSide {
+    cols: Vec<PrepColumn>,
+    index: HashMap<(usize, PrepSpec), usize>,
+}
+
+impl PreparedSide {
+    fn slot(&mut self, col: usize, spec: PrepSpec, nrows: usize) -> usize {
+        *self.index.entry((col, spec)).or_insert_with(|| {
+            self.cols.push(PrepColumn {
+                col,
+                spec,
+                cells: vec![None; nrows],
+            });
+            self.cols.len() - 1
+        })
+    }
+}
+
+/// A feature list resolved against a [`PreparedPair`]: per feature, the
+/// computation kind plus the prepared-slot each side reads from.
+#[derive(Debug, Clone)]
+pub struct FeaturePlan {
+    entries: Vec<PlanEntry>,
+    names: Vec<String>,
+    /// Features whose scalar evaluation tokenizes both sides.
+    n_token_features: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    kind: FeatureKind,
+    l_slot: usize,
+    r_slot: usize,
+}
+
+impl FeaturePlan {
+    /// Number of planned features.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no features are planned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tokenizer invocations the scalar path would spend on `n_pairs`
+    /// pairs of this plan (two sides per token feature per pair).
+    pub fn scalar_tokenize_calls(&self, n_pairs: usize) -> usize {
+        2 * n_pairs * self.n_token_features
+    }
+}
+
+/// The shared record-preparation cache over one `(A, B)` table pair.
+///
+/// Create once per workload, [`PreparedPair::plan`] each feature list
+/// against it, and extract matrices with
+/// [`crate::fvtable::extract_with_prepared`]. Preparation is lazy and
+/// cumulative: combinations and records prepared for one plan are reused
+/// by every later plan that shares them (see [`PreparedPair::cache_stats`]).
+#[derive(Debug)]
+pub struct PreparedPair<'t> {
+    a: &'t Table,
+    b: &'t Table,
+    interner: TokenInterner,
+    left: PreparedSide,
+    right: PreparedSide,
+    stats: CacheStats,
+}
+
+impl<'t> PreparedPair<'t> {
+    /// Empty cache over a table pair — nothing is prepared until a plan
+    /// asks for it.
+    pub fn new(a: &'t Table, b: &'t Table) -> Self {
+        PreparedPair {
+            a,
+            b,
+            interner: TokenInterner::new(),
+            left: PreparedSide::default(),
+            right: PreparedSide::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Resolve a feature list into a plan, registering any new
+    /// `(attribute, shape)` combinations. Errors on unknown attributes,
+    /// exactly like the unprepared extractor.
+    pub fn plan(&mut self, features: &[Feature]) -> magellan_table::Result<FeaturePlan> {
+        let mut entries = Vec::with_capacity(features.len());
+        let mut n_token_features = 0;
+        for f in features {
+            let li = self.a.schema().try_index_of(&f.l_attr)?;
+            let ri = self.b.schema().try_index_of(&f.r_attr)?;
+            let spec = PrepSpec::of(f.kind);
+            if spec.tokenizes() {
+                n_token_features += 1;
+            }
+            entries.push(PlanEntry {
+                kind: f.kind,
+                l_slot: self.left.slot(li, spec, self.a.nrows()),
+                r_slot: self.right.slot(ri, spec, self.b.nrows()),
+            });
+        }
+        Ok(FeaturePlan {
+            entries,
+            names: features.iter().map(|f| f.name.clone()).collect(),
+            n_token_features,
+        })
+    }
+
+    /// Prepare every record the given pairs reference, for every slot the
+    /// plan reads. Cells already prepared (by this or an earlier plan)
+    /// are counted as cache hits and not recomputed.
+    pub fn prepare_for_pairs(&mut self, plan: &FeaturePlan, pairs: &[(u32, u32)]) {
+        let mut l_ref = vec![false; self.a.nrows()];
+        let mut r_ref = vec![false; self.b.nrows()];
+        for &(ra, rb) in pairs {
+            l_ref[ra as usize] = true;
+            r_ref[rb as usize] = true;
+        }
+        // Distinct slots per side (several features can share one slot).
+        let mut l_slots: Vec<usize> = plan.entries.iter().map(|e| e.l_slot).collect();
+        l_slots.sort_unstable();
+        l_slots.dedup();
+        let mut r_slots: Vec<usize> = plan.entries.iter().map(|e| e.r_slot).collect();
+        r_slots.sort_unstable();
+        r_slots.dedup();
+
+        let PreparedPair {
+            a,
+            b,
+            interner,
+            left,
+            right,
+            stats,
+        } = self;
+        for &s in &l_slots {
+            prepare_column(&mut left.cols[s], a, &l_ref, interner, stats);
+        }
+        for &s in &r_slots {
+            prepare_column(&mut right.cols[s], b, &r_ref, interner, stats);
+        }
+        stats.interner_tokens = interner.len();
+    }
+
+    /// Evaluate a planned feature row for one prepared pair.
+    ///
+    /// # Panics
+    /// If the pair's records were not prepared for this plan (call
+    /// [`PreparedPair::prepare_for_pairs`] first).
+    pub fn compute_row(&self, plan: &FeaturePlan, ra: usize, rb: usize) -> Vec<f64> {
+        let mut row = Vec::with_capacity(plan.entries.len());
+        for e in &plan.entries {
+            let va = self.left.cols[e.l_slot].cells[ra]
+                .as_ref()
+                .expect("left record prepared");
+            let vb = self.right.cols[e.r_slot].cells[rb]
+                .as_ref()
+                .expect("right record prepared");
+            row.push(compute_prepared(e.kind, va, vb));
+        }
+        row
+    }
+
+    /// Cumulative cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Distinct tokens interned so far.
+    pub fn interner_len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The tables this cache was built over.
+    pub fn tables(&self) -> (&'t Table, &'t Table) {
+        (self.a, self.b)
+    }
+}
+
+/// Fill one combination's cells for every referenced, still-unprepared
+/// record.
+fn prepare_column(
+    column: &mut PrepColumn,
+    table: &Table,
+    referenced: &[bool],
+    interner: &mut TokenInterner,
+    stats: &mut CacheStats,
+) {
+    for (r, &wanted) in referenced.iter().enumerate() {
+        if !wanted {
+            continue;
+        }
+        stats.lookups += 1;
+        if column.cells[r].is_some() {
+            stats.hits += 1;
+            continue;
+        }
+        let v = table.value(r, column.col);
+        let cell = if v.is_null() {
+            PrepValue::Null
+        } else {
+            match column.spec {
+                PrepSpec::Num => v
+                    .as_float()
+                    .map(PrepValue::Num)
+                    .unwrap_or(PrepValue::NotNum),
+                PrepSpec::LowerStr => {
+                    PrepValue::Str(v.display_string().trim().to_lowercase())
+                }
+                PrepSpec::WordBag => {
+                    let s = v.display_string().trim().to_lowercase();
+                    stats.tokenize_calls += 1;
+                    PrepValue::Bag(AlphanumericTokenizer::new().tokenize(&s))
+                }
+                PrepSpec::WordSet => {
+                    let s = v.display_string().trim().to_lowercase();
+                    stats.tokenize_calls += 1;
+                    let toks = AlphanumericTokenizer::as_set().tokenize(&s);
+                    PrepValue::Set(interner.intern_set(&toks))
+                }
+                PrepSpec::QgramSet(q) => {
+                    let s = v.display_string().trim().to_lowercase();
+                    stats.tokenize_calls += 1;
+                    let toks =
+                        magellan_textsim::tokenize::QgramTokenizer::as_set(q).tokenize(&s);
+                    PrepValue::Set(interner.intern_set(&toks))
+                }
+            }
+        };
+        column.cells[r] = Some(cell);
+        stats.records_prepared += 1;
+    }
+}
+
+/// The prepared-shape evaluation of one feature kind — mirrors
+/// [`crate::Feature::compute`] case for case so results are bit-identical.
+fn compute_prepared(kind: FeatureKind, va: &PrepValue, vb: &PrepValue) -> f64 {
+    if matches!(va, PrepValue::Null) || matches!(vb, PrepValue::Null) {
+        return f64::NAN;
+    }
+    match kind {
+        FeatureKind::ExactNum | FeatureKind::AbsDiff | FeatureKind::RelDiff => {
+            let (PrepValue::Num(x), PrepValue::Num(y)) = (va, vb) else {
+                return f64::NAN;
+            };
+            match kind {
+                FeatureKind::ExactNum => numeric::exact_match_num(*x, *y),
+                FeatureKind::AbsDiff => numeric::abs_diff_sim(*x, *y),
+                FeatureKind::RelDiff => numeric::rel_diff_sim(*x, *y),
+                _ => unreachable!(),
+            }
+        }
+        FeatureKind::ExactMatch
+        | FeatureKind::LevSim
+        | FeatureKind::Jaro
+        | FeatureKind::JaroWinkler => {
+            let (PrepValue::Str(sa), PrepValue::Str(sb)) = (va, vb) else {
+                debug_assert!(false, "string feature over non-string prep");
+                return f64::NAN;
+            };
+            match kind {
+                FeatureKind::ExactMatch => f64::from(sa == sb),
+                FeatureKind::LevSim => seqsim::levenshtein_sim(sa, sb),
+                FeatureKind::Jaro => seqsim::jaro(sa, sb),
+                FeatureKind::JaroWinkler => seqsim::jaro_winkler(sa, sb),
+                _ => unreachable!(),
+            }
+        }
+        FeatureKind::MongeElkanJw => {
+            let (PrepValue::Bag(ba), PrepValue::Bag(bb)) = (va, vb) else {
+                debug_assert!(false, "monge-elkan over non-bag prep");
+                return f64::NAN;
+            };
+            setsim::monge_elkan_jw(ba, bb)
+        }
+        FeatureKind::Jaccard(_)
+        | FeatureKind::Cosine(_)
+        | FeatureKind::Dice(_)
+        | FeatureKind::OverlapCoeff(_) => {
+            let (PrepValue::Set(ia), PrepValue::Set(ib)) = (va, vb) else {
+                debug_assert!(false, "set feature over non-set prep");
+                return f64::NAN;
+            };
+            // The scalar path returns NaN when either tokenization is
+            // empty — preserved exactly.
+            if ia.is_empty() || ib.is_empty() {
+                return f64::NAN;
+            }
+            match kind {
+                FeatureKind::Jaccard(_) => intern::jaccard_ids(ia, ib),
+                FeatureKind::Cosine(_) => intern::cosine_ids(ia, ib),
+                FeatureKind::Dice(_) => intern::dice_ids(ia, ib),
+                FeatureKind::OverlapCoeff(_) => intern::overlap_coefficient_ids(ia, ib),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Extract a feature matrix through a shared [`PreparedPair`] cache: plan
+/// the features, prepare the referenced records once each, then evaluate
+/// pair rows on the `magellan-par` pool (bit-identical to
+/// [`crate::extract_feature_matrix`] for any worker count).
+///
+/// The returned [`ParStats`] carries this call's [`CacheStats`] delta —
+/// records prepared, tokenize calls spent and saved versus the scalar
+/// path, lookups/hits (hits = reuse of earlier preparation), and the
+/// shared interner's vocabulary size.
+pub fn extract_with_prepared(
+    prepared: &mut PreparedPair<'_>,
+    pairs: &[(u32, u32)],
+    features: &[Feature],
+    cfg: &ParConfig,
+) -> magellan_table::Result<(FeatureMatrix, ParStats)> {
+    let plan = prepared.plan(features)?;
+    let before = prepared.cache_stats();
+    prepared.prepare_for_pairs(&plan, pairs);
+    let after = prepared.cache_stats();
+
+    let spent = after.tokenize_calls - before.tokenize_calls;
+    let cache = CacheStats {
+        records_prepared: after.records_prepared - before.records_prepared,
+        tokenize_calls: spent,
+        tokenize_calls_saved: plan.scalar_tokenize_calls(pairs.len()).saturating_sub(spent),
+        lookups: after.lookups - before.lookups,
+        hits: after.hits - before.hits,
+        interner_tokens: after.interner_tokens,
+    };
+    // Also fold the per-call savings into the cumulative counters so
+    // `PreparedPair::cache_stats` reports workload totals.
+    prepared.stats.tokenize_calls_saved += cache.tokenize_calls_saved;
+
+    let shared: &PreparedPair<'_> = prepared;
+    let (rows, mut stats) = magellan_par::map_indexed(pairs.len(), cfg, |p| {
+        let (ra, rb) = pairs[p];
+        shared.compute_row(&plan, ra as usize, rb as usize)
+    });
+    stats.cache = cache;
+    Ok((
+        FeatureMatrix {
+            names: plan.names.clone(),
+            rows,
+            pairs: pairs.to_vec(),
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{Feature, FeatureKind, TokSpecF};
+    use crate::fvtable::extract_feature_matrix_scalar;
+    use magellan_table::{Dtype, Value};
+
+    fn tables() -> (Table, Table) {
+        let a = Table::from_rows(
+            "A",
+            &[
+                ("id", Dtype::Str),
+                ("name", Dtype::Str),
+                ("city", Dtype::Str),
+                ("age", Dtype::Int),
+            ],
+            vec![
+                vec!["a0".into(), "Dave  Smith".into(), "Madison".into(), Value::Int(40)],
+                vec!["a1".into(), Value::Null, "Chicago!!".into(), Value::Int(31)],
+                vec!["a2".into(), "O'Brien, J.R.".into(), Value::Null, Value::Null],
+                vec!["a3".into(), "!!!".into(), "  ".into(), Value::Int(7)],
+            ],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            "B",
+            &[
+                ("id", Dtype::Str),
+                ("name", Dtype::Str),
+                ("city", Dtype::Str),
+                ("age", Dtype::Int),
+            ],
+            vec![
+                vec!["b0".into(), "dave smith".into(), "madison".into(), Value::Int(41)],
+                vec!["b1".into(), "J R O Brien".into(), "chicago".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    fn all_kind_features() -> Vec<Feature> {
+        vec![
+            Feature::new("name", "name", FeatureKind::ExactMatch),
+            Feature::new("name", "name", FeatureKind::LevSim),
+            Feature::new("name", "name", FeatureKind::Jaro),
+            Feature::new("name", "name", FeatureKind::JaroWinkler),
+            Feature::new("name", "name", FeatureKind::MongeElkanJw),
+            Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::Cosine(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::Dice(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::OverlapCoeff(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Qgram(3))),
+            Feature::new("city", "city", FeatureKind::Cosine(TokSpecF::Qgram(2))),
+            Feature::new("age", "age", FeatureKind::ExactNum),
+            Feature::new("age", "age", FeatureKind::AbsDiff),
+            Feature::new("age", "age", FeatureKind::RelDiff),
+        ]
+    }
+
+    fn all_pairs(a: &Table, b: &Table) -> Vec<(u32, u32)> {
+        (0..a.nrows() as u32)
+            .flat_map(|ra| (0..b.nrows() as u32).map(move |rb| (ra, rb)))
+            .collect()
+    }
+
+    /// The prepared path is **bit-identical** to the scalar per-pair path
+    /// for every feature kind, including nulls, empty tokenizations,
+    /// non-numeric values, and duplicate tokens.
+    #[test]
+    fn prepared_rows_bit_identical_to_scalar() {
+        let (a, b) = tables();
+        let features = all_kind_features();
+        let pairs = all_pairs(&a, &b);
+        let scalar = extract_feature_matrix_scalar(&pairs, &a, &b, &features).unwrap();
+        let mut prepared = PreparedPair::new(&a, &b);
+        let (cached, stats) =
+            extract_with_prepared(&mut prepared, &pairs, &features, &ParConfig::serial())
+                .unwrap();
+        assert_eq!(cached.names, scalar.names);
+        assert_eq!(cached.pairs, scalar.pairs);
+        for (i, (cr, sr)) in cached.rows.iter().zip(&scalar.rows).enumerate() {
+            for (j, (cv, sv)) in cr.iter().zip(sr).enumerate() {
+                assert_eq!(
+                    cv.to_bits(),
+                    sv.to_bits(),
+                    "pair {i} feature {j} ({}) diverged: {cv} vs {sv}",
+                    cached.names[j]
+                );
+            }
+        }
+        assert!(stats.cache.records_prepared > 0);
+        assert!(stats.cache.tokenize_calls > 0);
+        assert!(stats.cache.tokenize_calls_saved > 0);
+        assert!(stats.cache.interner_tokens > 0);
+    }
+
+    /// Parallel prepared extraction is bit-identical to serial for any
+    /// worker count (prepared data is immutable during the pair map).
+    #[test]
+    fn prepared_extraction_worker_count_invariant() {
+        let (a, b) = tables();
+        let features = all_kind_features();
+        let pairs = all_pairs(&a, &b);
+        let mut reference_prep = PreparedPair::new(&a, &b);
+        let (reference, _) = extract_with_prepared(
+            &mut reference_prep,
+            &pairs,
+            &features,
+            &ParConfig::serial(),
+        )
+        .unwrap();
+        for w in [2, 3, 8] {
+            let mut prep = PreparedPair::new(&a, &b);
+            let (m, _) =
+                extract_with_prepared(&mut prep, &pairs, &features, &ParConfig::workers(w))
+                    .unwrap();
+            for (cr, sr) in m.rows.iter().zip(&reference.rows) {
+                for (cv, sv) in cr.iter().zip(sr) {
+                    assert_eq!(cv.to_bits(), sv.to_bits(), "{w} workers diverged");
+                }
+            }
+        }
+    }
+
+    /// A second plan over the same cache reuses earlier preparation:
+    /// shared (attribute, tokenizer) combinations report cache hits and
+    /// spend no new tokenize calls for already-prepared records.
+    #[test]
+    fn cross_plan_reuse_hits_cache() {
+        let (a, b) = tables();
+        let pairs = all_pairs(&a, &b);
+        let mut prepared = PreparedPair::new(&a, &b);
+        let stage1 = vec![Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word))];
+        let (_, s1) =
+            extract_with_prepared(&mut prepared, &pairs, &stage1, &ParConfig::serial()).unwrap();
+        assert_eq!(s1.cache.hits, 0);
+        assert!(s1.cache.tokenize_calls > 0);
+
+        // Stage 2 shares the word-set combination and adds a new one.
+        let stage2 = vec![
+            Feature::new("name", "name", FeatureKind::Cosine(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::Dice(TokSpecF::Word)),
+            Feature::new("city", "city", FeatureKind::Jaccard(TokSpecF::Word)),
+        ];
+        let (_, s2) =
+            extract_with_prepared(&mut prepared, &pairs, &stage2, &ParConfig::serial()).unwrap();
+        // name word-sets were already prepared: all those lookups hit.
+        assert!(s2.cache.hits > 0, "no cross-plan reuse: {:?}", s2.cache);
+        // Only the city column prepared anew: 4 A rows + 2 B rows, one of
+        // which (a2's city) is Null and therefore prepared without
+        // spending a tokenize call.
+        assert_eq!(s2.cache.records_prepared, 6);
+        assert_eq!(s2.cache.tokenize_calls, 5);
+        let total = prepared.cache_stats();
+        assert_eq!(total.lookups, s1.cache.lookups + s2.cache.lookups);
+        assert!(total.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let (a, b) = tables();
+        let mut prepared = PreparedPair::new(&a, &b);
+        let bad = vec![Feature::new("nope", "name", FeatureKind::ExactMatch)];
+        assert!(prepared.plan(&bad).is_err());
+        let (aa, bb) = prepared.tables();
+        assert_eq!(aa.nrows(), a.nrows());
+        assert_eq!(bb.nrows(), b.nrows());
+    }
+
+    #[test]
+    fn empty_pairs_prepare_nothing() {
+        let (a, b) = tables();
+        let mut prepared = PreparedPair::new(&a, &b);
+        let features = vec![Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word))];
+        let (m, stats) =
+            extract_with_prepared(&mut prepared, &[], &features, &ParConfig::serial()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(stats.cache.records_prepared, 0);
+        assert_eq!(stats.cache.tokenize_calls, 0);
+        assert_eq!(prepared.interner_len(), 0);
+    }
+}

@@ -182,6 +182,57 @@ pub struct ParStats {
     pub worker_busy: Vec<Duration>,
     /// Wall-clock of the whole region, including merge.
     pub elapsed: Duration,
+    /// Prepared-cache counters of the region (zero for regions that don't
+    /// run on a record-preparation cache). Filled by the interned
+    /// feature-extraction layer in `magellan-features`.
+    pub cache: CacheStats,
+}
+
+/// Effectiveness counters of a record-preparation (tokenize-once) cache:
+/// how much per-pair string work the prepared layer absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `(record, attribute × tokenizer)` cells prepared (normalized +
+    /// tokenized + interned exactly once each).
+    pub records_prepared: usize,
+    /// Tokenizer invocations actually performed while preparing.
+    pub tokenize_calls: usize,
+    /// Tokenizer invocations the per-pair scalar path would have
+    /// performed for the same workload (2 × pairs × token features),
+    /// minus the ones the cache actually spent — i.e. work saved.
+    pub tokenize_calls_saved: usize,
+    /// Prepared-cell requests (one per referenced record × combination
+    /// per extraction call).
+    pub lookups: usize,
+    /// Requests served by an already-prepared cell (cross-call /
+    /// cross-phase reuse).
+    pub hits: usize,
+    /// Distinct tokens in the shared interner after the region.
+    pub interner_tokens: usize,
+}
+
+impl CacheStats {
+    /// Fraction of prepared-cell requests served from cache, in `[0, 1]`.
+    /// Zero-lookup regions report `0.0`, never `NaN`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fold another region's cache counters into this one. Counters sum;
+    /// `interner_tokens` is a high-water mark (regions share one
+    /// interner, so the max is the final vocabulary size).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.records_prepared += other.records_prepared;
+        self.tokenize_calls += other.tokenize_calls;
+        self.tokenize_calls_saved += other.tokenize_calls_saved;
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.interner_tokens = self.interner_tokens.max(other.interner_tokens);
+    }
 }
 
 impl ParStats {
@@ -229,6 +280,7 @@ impl ParStats {
             *mine += *theirs;
         }
         self.elapsed += other.elapsed;
+        self.cache.merge(&other.cache);
     }
 }
 
@@ -544,6 +596,14 @@ mod tests {
             worker_deaths: 1,
             worker_busy: vec![Duration::from_millis(5), Duration::from_millis(3)],
             elapsed: Duration::from_millis(6),
+            cache: CacheStats {
+                records_prepared: 10,
+                tokenize_calls: 10,
+                tokenize_calls_saved: 90,
+                lookups: 10,
+                hits: 0,
+                interner_tokens: 40,
+            },
         };
         let b = ParStats {
             n_workers: 4,
@@ -555,6 +615,14 @@ mod tests {
             worker_deaths: 0,
             worker_busy: vec![Duration::from_millis(1); 4],
             elapsed: Duration::from_millis(2),
+            cache: CacheStats {
+                records_prepared: 5,
+                tokenize_calls: 5,
+                tokenize_calls_saved: 15,
+                lookups: 10,
+                hits: 5,
+                interner_tokens: 25,
+            },
         };
         a.merge(&b);
         assert_eq!(a.n_workers, 4);
@@ -565,6 +633,14 @@ mod tests {
         assert_eq!(a.worker_deaths, 1);
         assert_eq!(a.worker_busy.len(), 4);
         assert_eq!(a.elapsed, Duration::from_millis(8));
+        // Cache counters sum; the interner size is a high-water mark.
+        assert_eq!(a.cache.records_prepared, 15);
+        assert_eq!(a.cache.tokenize_calls_saved, 105);
+        assert_eq!(a.cache.lookups, 20);
+        assert_eq!(a.cache.hits, 5);
+        assert_eq!(a.cache.interner_tokens, 40);
+        assert!((a.cache.hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -2,13 +2,23 @@
 //!
 //! Prefix filtering needs a *global token order* in which rare tokens come
 //! first: a set's "prefix" under that order is maximally selective. We
-//! tokenize both collections, count document frequencies over their union,
-//! assign ids rarest-first (ties broken lexicographically for determinism),
-//! and store each record as a sorted `Vec<u32>` of token ids.
+//! tokenize both collections **once per record** into a shared
+//! [`TokenInterner`] (the same substrate the prepared feature cache uses),
+//! count document frequencies over their union, assign join-local ids
+//! rarest-first (ties broken lexicographically for determinism), and store
+//! each record as a sorted `Vec<u32>` of those ids.
+//!
+//! Because interning happens through a caller-suppliable interner
+//! ([`TokenizedCollection::build_with_interner`]), several joins over the
+//! same columns — e.g. a rule blocker's per-predicate sim-joins — share
+//! one vocabulary and skip re-hashing token strings they have already
+//! seen. The rarest-first remap is a pure permutation of interner ids, so
+//! join results are independent of which interner is supplied.
 
 use std::collections::HashMap;
 
 use magellan_textsim::tokenize::Tokenizer;
+use magellan_textsim::TokenInterner;
 
 /// A pair of string collections tokenized under one shared token order.
 #[derive(Debug, Clone)]
@@ -30,51 +40,68 @@ impl TokenizedCollection {
         right: &[Option<S>],
         tokenizer: &dyn Tokenizer,
     ) -> Self {
-        let tokenize_side = |side: &[Option<S>]| -> Vec<Vec<String>> {
+        let mut interner = TokenInterner::new();
+        Self::build_with_interner(left, right, tokenizer, &mut interner)
+    }
+
+    /// [`TokenizedCollection::build`] through a caller-owned
+    /// [`TokenInterner`]: token strings already interned (by an earlier
+    /// collection over the same columns, or by the prepared feature cache)
+    /// are not re-hashed. The result is **identical** for any interner
+    /// contents — the join-local ids are a rarest-first permutation keyed
+    /// by `(document frequency, token string)`, both independent of
+    /// interner id assignment.
+    pub fn build_with_interner<S: AsRef<str>>(
+        left: &[Option<S>],
+        right: &[Option<S>],
+        tokenizer: &dyn Tokenizer,
+        interner: &mut TokenInterner,
+    ) -> Self {
+        // Tokenize once per record into sorted deduped interner-id sets.
+        let tokenize_side = |side: &[Option<S>], interner: &mut TokenInterner| {
             side.iter()
                 .map(|s| match s {
-                    Some(s) => {
-                        let mut toks = tokenizer.tokenize(s.as_ref());
-                        toks.sort_unstable();
-                        toks.dedup();
-                        toks
-                    }
+                    Some(s) => interner.intern_set(&tokenizer.tokenize(s.as_ref())),
                     None => Vec::new(),
                 })
-                .collect()
+                .collect::<Vec<Vec<u32>>>()
         };
-        let ltoks = tokenize_side(left);
-        let rtoks = tokenize_side(right);
+        let lrecs = tokenize_side(left, interner);
+        let rrecs = tokenize_side(right, interner);
 
-        // Document frequency over the union of both sides.
-        let mut df: HashMap<&str, u32> = HashMap::new();
-        for rec in ltoks.iter().chain(rtoks.iter()) {
-            for t in rec {
-                *df.entry(t.as_str()).or_insert(0) += 1;
+        // Document frequency over the union of both sides, keyed by
+        // interner id (cheap u32 hashing instead of string hashing).
+        let mut df: HashMap<u32, u32> = HashMap::new();
+        for rec in lrecs.iter().chain(rrecs.iter()) {
+            for &t in rec {
+                *df.entry(t).or_insert(0) += 1;
             }
         }
-        // Rarest-first, lexicographic tiebreak for determinism.
-        let mut vocab: Vec<(&str, u32)> = df.into_iter().collect();
-        vocab.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-        let ids: HashMap<&str, u32> = vocab
-            .iter()
-            .enumerate()
-            .map(|(i, (t, _))| (*t, i as u32))
-            .collect();
+        // Rarest-first, lexicographic tiebreak for determinism. Resolving
+        // through the interner recovers the exact ordering the string
+        // vocabulary would produce, whatever ids the interner assigned.
+        let mut vocab: Vec<(u32, u32)> = df.into_iter().collect();
+        vocab.sort_unstable_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then_with(|| interner.resolve(a.0).cmp(interner.resolve(b.0)))
+        });
+        let mut rank: HashMap<u32, u32> = HashMap::with_capacity(vocab.len());
+        for (i, (id, _)) in vocab.iter().enumerate() {
+            rank.insert(*id, i as u32);
+        }
 
-        let map_side = |toks: &[Vec<String>]| -> Vec<Vec<u32>> {
-            toks.iter()
+        let map_side = |recs: &[Vec<u32>]| -> Vec<Vec<u32>> {
+            recs.iter()
                 .map(|rec| {
-                    let mut ids_rec: Vec<u32> =
-                        rec.iter().map(|t| ids[t.as_str()]).collect();
+                    let mut ids_rec: Vec<u32> = rec.iter().map(|t| rank[t]).collect();
                     ids_rec.sort_unstable();
                     ids_rec
                 })
                 .collect()
         };
         TokenizedCollection {
-            left: map_side(&ltoks),
-            right: map_side(&rtoks),
+            left: map_side(&lrecs),
+            right: map_side(&rrecs),
             vocab_size: vocab.len(),
         }
     }
@@ -168,5 +195,29 @@ mod tests {
         let tok = WhitespaceTokenizer::new();
         let c = TokenizedCollection::build(&some(&["a a a b"]), &some(&["a"]), &tok);
         assert_eq!(c.left[0].len(), 2);
+    }
+
+    /// The join-local rarest-first order is independent of the supplied
+    /// interner's existing contents: a pre-seeded shared interner yields
+    /// exactly the same collection as a fresh one.
+    #[test]
+    fn shared_interner_does_not_change_ids() {
+        let tok = WhitespaceTokenizer::new();
+        let left = some(&["sony wireless mouse", "apple pencil", "mouse pad"]);
+        let right = some(&["sony mouse", "pencil case"]);
+        let fresh = TokenizedCollection::build(&left, &right, &tok);
+
+        let mut interner = magellan_textsim::TokenInterner::new();
+        // Seed with unrelated and overlapping tokens in scrambled order.
+        for t in ["zebra", "mouse", "case", "aardvark", "sony"] {
+            interner.intern(t);
+        }
+        let seeded =
+            TokenizedCollection::build_with_interner(&left, &right, &tok, &mut interner);
+        assert_eq!(fresh.left, seeded.left);
+        assert_eq!(fresh.right, seeded.right);
+        assert_eq!(fresh.vocab_size, seeded.vocab_size);
+        // The interner accumulated the join's vocabulary on top of the seed.
+        assert!(interner.len() >= fresh.vocab_size);
     }
 }

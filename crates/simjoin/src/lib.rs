@@ -35,5 +35,6 @@ pub mod join;
 
 pub use collection::TokenizedCollection;
 pub use join::{
-    join_tokenized_par, set_sim_join, set_sim_join_parallel, JoinPair, SetSimMeasure,
+    join_tokenized, join_tokenized_par, set_sim_join, set_sim_join_parallel, JoinPair,
+    SetSimMeasure,
 };

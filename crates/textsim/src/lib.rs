@@ -16,16 +16,25 @@
 //! Tokenizers ([`tokenize`]) cover whitespace, delimiter, q-gram
 //! (padded/unpadded), and alphanumeric tokenization, each with an optional
 //! set-semantics mode, matching `py_stringmatching`'s `return_set` flag.
+//!
+//! For batch workloads, [`intern`] provides the shared [`TokenInterner`]
+//! (token → dense `u32` id) plus allocation-free merge-intersection
+//! kernels over sorted id sets — bit-identical to the [`setsim`] string
+//! measures on the same token sets, and the substrate of the
+//! tokenize-once-per-record prepared caches in `magellan-features`,
+//! `magellan-simjoin`, and `magellan-block`.
 
 #![warn(missing_docs)]
 
 pub mod corpsim;
+pub mod intern;
 pub mod numeric;
 pub mod seqsim;
 pub mod setsim;
 pub mod tokenize;
 
 pub use corpsim::TfIdfModel;
+pub use intern::TokenInterner;
 pub use tokenize::{
     AlphanumericTokenizer, DelimiterTokenizer, QgramTokenizer, Tokenizer, WhitespaceTokenizer,
 };

@@ -6,15 +6,36 @@
 //! Conventions for degenerate inputs follow that package: two empty token
 //! sets are maximally similar (1.0), one empty set yields 0.0.
 
-use std::collections::HashSet;
-
-fn to_set<S: AsRef<str>>(tokens: &[S]) -> HashSet<&str> {
-    tokens.iter().map(|t| t.as_ref()).collect()
+/// Sort-dedup a token bag into a set represented as a **sorted `&str`
+/// slice**. No hashing: set size and intersection are then computed by
+/// the merge walk below, which is both faster for the short token sets EM
+/// attributes produce and structurally identical to the interned-`u32`
+/// kernels in [`crate::intern`] (the prepared batch path), keeping the
+/// two paths trivially equivalent.
+fn to_set<S: AsRef<str>>(tokens: &[S]) -> Vec<&str> {
+    let mut v: Vec<&str> = tokens.iter().map(|t| t.as_ref()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
-fn intersection_size(a: &HashSet<&str>, b: &HashSet<&str>) -> usize {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    small.iter().filter(|t| large.contains(*t)).count()
+/// `|a ∩ b|` of two sorted deduplicated slices (merge walk).
+fn intersection_size(a: &[&str], b: &[&str]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
 }
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|`.

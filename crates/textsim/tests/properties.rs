@@ -116,3 +116,131 @@ proptest! {
         prop_assert!(d <= a.len());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Equivalence pins for the sort-dedup-merge setsim rewrite and the interned
+// u32 kernels: both must be *bit-identical* to the original hash-set-based
+// measures for arbitrary token bags, including duplicate-token and
+// empty-set edge cases.
+// ---------------------------------------------------------------------------
+
+/// The original `HashSet`-based measures, kept here as the reference
+/// implementation the production code is pinned against.
+mod hash_reference {
+    use std::collections::HashSet;
+
+    fn to_set<'a>(tokens: &'a [String]) -> HashSet<&'a str> {
+        tokens.iter().map(|t| t.as_str()).collect()
+    }
+
+    fn inter(a: &HashSet<&str>, b: &HashSet<&str>) -> usize {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small.iter().filter(|t| large.contains(*t)).count()
+    }
+
+    pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+        let (a, b) = (to_set(a), to_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let i = inter(&a, &b);
+        i as f64 / (a.len() + b.len() - i) as f64
+    }
+
+    pub fn dice(a: &[String], b: &[String]) -> f64 {
+        let (a, b) = (to_set(a), to_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        2.0 * inter(&a, &b) as f64 / (a.len() + b.len()) as f64
+    }
+
+    pub fn cosine(a: &[String], b: &[String]) -> f64 {
+        let (a, b) = (to_set(a), to_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        inter(&a, &b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+    }
+
+    pub fn overlap_coefficient(a: &[String], b: &[String]) -> f64 {
+        let (a, b) = (to_set(a), to_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        inter(&a, &b) as f64 / a.len().min(b.len()) as f64
+    }
+
+    pub fn overlap_size(a: &[String], b: &[String]) -> usize {
+        inter(&to_set(a), &to_set(b))
+    }
+}
+
+/// Token bags with deliberately high duplicate rates (tiny alphabet,
+/// repeated draws) so dedup behaviour is exercised hard; `0..6` length
+/// includes the empty bag.
+fn dup_bag() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[ab]{1,2}", 0..6)
+}
+
+proptest! {
+    #[test]
+    fn merge_setsim_bit_identical_to_hash_reference(a in dup_bag(), b in dup_bag()) {
+        prop_assert_eq!(jaccard(&a, &b).to_bits(), hash_reference::jaccard(&a, &b).to_bits());
+        prop_assert_eq!(dice(&a, &b).to_bits(), hash_reference::dice(&a, &b).to_bits());
+        prop_assert_eq!(cosine(&a, &b).to_bits(), hash_reference::cosine(&a, &b).to_bits());
+        prop_assert_eq!(
+            overlap_coefficient(&a, &b).to_bits(),
+            hash_reference::overlap_coefficient(&a, &b).to_bits()
+        );
+        prop_assert_eq!(overlap_size(&a, &b), hash_reference::overlap_size(&a, &b));
+    }
+
+    #[test]
+    fn interned_kernels_bit_identical_to_string_measures(a in dup_bag(), b in dup_bag()) {
+        use magellan_textsim::intern::{
+            cosine_ids, dice_ids, jaccard_ids, overlap_coefficient_ids, overlap_size_ids,
+            TokenInterner,
+        };
+        let mut it = TokenInterner::new();
+        let ia = it.intern_set(&a);
+        let ib = it.intern_set(&b);
+        prop_assert_eq!(jaccard_ids(&ia, &ib).to_bits(), jaccard(&a, &b).to_bits());
+        prop_assert_eq!(dice_ids(&ia, &ib).to_bits(), dice(&a, &b).to_bits());
+        prop_assert_eq!(cosine_ids(&ia, &ib).to_bits(), cosine(&a, &b).to_bits());
+        prop_assert_eq!(
+            overlap_coefficient_ids(&ia, &ib).to_bits(),
+            overlap_coefficient(&a, &b).to_bits()
+        );
+        prop_assert_eq!(overlap_size_ids(&ia, &ib), overlap_size(&a, &b));
+    }
+
+    #[test]
+    fn empty_and_duplicate_edges_pinned(a in dup_bag()) {
+        let empty: Vec<String> = Vec::new();
+        // Two empty sets: maximally similar by convention.
+        prop_assert_eq!(jaccard(&empty, &empty), 1.0);
+        prop_assert_eq!(dice(&empty, &empty), 1.0);
+        prop_assert_eq!(cosine(&empty, &empty), 1.0);
+        prop_assert_eq!(overlap_coefficient(&empty, &empty), 1.0);
+        // One empty set: 0.0 similarity, matching the hash reference.
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &empty), 0.0);
+            prop_assert_eq!(jaccard(&a, &empty).to_bits(), hash_reference::jaccard(&a, &empty).to_bits());
+            prop_assert_eq!(cosine(&empty, &a), 0.0);
+        }
+        // Duplicates never change a set measure: a bag vs its dedup.
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(jaccard(&a, &dedup), if a.is_empty() { 1.0 } else { 1.0 });
+        let doubled: Vec<String> = a.iter().chain(a.iter()).cloned().collect();
+        prop_assert_eq!(jaccard(&a, &doubled).to_bits(), jaccard(&a, &a).to_bits());
+    }
+}
