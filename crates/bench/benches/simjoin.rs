@@ -4,7 +4,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use magellan_textsim::setsim;
 use magellan_textsim::tokenize::{Tokenizer, WhitespaceTokenizer};
-use magellan_simjoin::{set_sim_join, set_sim_join_parallel, SetSimMeasure};
+use magellan_simjoin::{
+    join_tokenized, join_tokenized_hashmap, set_sim_join, set_sim_join_parallel, SetSimMeasure,
+    TokenizedCollection,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,6 +19,27 @@ fn make_strings(n: usize, seed: u64) -> Vec<Option<String>> {
             Some(
                 (0..k)
                     .map(|_| format!("tok{}", rng.gen_range(0..500)))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        })
+        .collect()
+}
+
+/// Token soup with a controllable frequency skew: `skew = 0` is uniform;
+/// larger values concentrate mass on a few heavy-hitter tokens (the
+/// regime where postings lists get long and pruning pays).
+fn make_skewed_strings(n: usize, seed: u64, vocab: usize, skew: f64) -> Vec<Option<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(3..9);
+            Some(
+                (0..k)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        format!("tok{}", (vocab as f64 * u.powf(1.0 + skew)) as usize)
+                    })
                     .collect::<Vec<_>>()
                     .join(" "),
             )
@@ -90,5 +114,38 @@ fn bench_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_join_vs_naive, bench_parallel);
+/// Scaling grid of the CSR engine vs the preserved HashMap engine:
+/// collection size × threshold × token-frequency skew, same tokenized
+/// input for both (the engines are bit-identical, so only time differs).
+fn bench_engine_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_engine_grid");
+    g.sample_size(10);
+    let tok = WhitespaceTokenizer::new();
+    for n in [1_000usize, 4_000] {
+        for (skew_name, skew) in [("uniform", 0.0), ("skewed", 3.0)] {
+            let left = make_skewed_strings(n, 11, 600, skew);
+            let right = make_skewed_strings(n, 13, 600, skew);
+            let coll = TokenizedCollection::build(&left, &right, &tok);
+            for t in [0.5f64, 0.8] {
+                let id = format!("n{n}/{skew_name}/t{t}");
+                g.bench_with_input(BenchmarkId::new("csr", &id), &coll, |b, coll| {
+                    b.iter(|| {
+                        black_box(join_tokenized(black_box(coll), SetSimMeasure::Jaccard(t)))
+                    })
+                });
+                g.bench_with_input(BenchmarkId::new("hashmap", &id), &coll, |b, coll| {
+                    b.iter(|| {
+                        black_box(join_tokenized_hashmap(
+                            black_box(coll),
+                            SetSimMeasure::Jaccard(t),
+                        ))
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_vs_naive, bench_parallel, bench_engine_grid);
 criterion_main!(benches);

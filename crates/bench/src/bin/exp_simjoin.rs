@@ -1,0 +1,208 @@
+//! Sim-join engine experiment: pairs/sec of the adaptive CSR engine
+//! (flat postings, accumulating positional + suffix pruning, bounded
+//! galloping verification, cost-based probe side) vs the pre-CSR HashMap
+//! engine it replaced, across a collection-size × threshold ×
+//! token-frequency-skew grid, plus the pruning-cascade kill rates.
+//!
+//! Writes `results/exp_simjoin.txt` (human-readable table) and
+//! `BENCH_simjoin.json` at the repo root (the ISSUE's before/after
+//! record; "before" = `join_tokenized_hashmap`, byte-for-byte the seed
+//! engine, still compiled in as the oracle baseline).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use magellan_par::ParConfig;
+use magellan_simjoin::{
+    join_tokenized_hashmap, join_tokenized_par_side, join_tokenized_stats, ProbeSide,
+    SetSimMeasure, TokenizedCollection,
+};
+use magellan_textsim::tokenize::WhitespaceTokenizer;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Deterministic token soup with controllable frequency skew (`skew = 0`
+/// is uniform; larger values concentrate mass on heavy-hitter tokens).
+fn make_strings(n: usize, seed: u64, vocab: usize, skew: f64) -> Vec<Option<String>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|_| {
+            let k = 3 + (next() % 6) as usize;
+            Some(
+                (0..k)
+                    .map(|_| {
+                        let u = next() as f64 / u32::MAX as f64;
+                        format!("tok{}", (vocab as f64 * u.powf(1.0 + skew)) as usize)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        })
+        .collect()
+}
+
+struct Grid {
+    name: &'static str,
+    skew: f64,
+    threshold: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let n = if smoke { 400 } else { 4000 };
+    let reps = if smoke { 2 } else { 5 };
+    let grids = [
+        Grid { name: "skewed", skew: 3.0, threshold: 0.7 },
+        Grid { name: "skewed_loose", skew: 3.0, threshold: 0.5 },
+        Grid { name: "uniform", skew: 0.0, threshold: 0.7 },
+    ];
+    let tok = WhitespaceTokenizer::new();
+
+    let mut txt = String::new();
+    let mut json_grids = String::new();
+    writeln!(
+        txt,
+        "Sim-join engine — CSR (flat postings + positional/suffix pruning + bounded verify) vs HashMap seed engine"
+    )
+    .unwrap();
+    writeln!(txt, "{n} x {n} records per side, reps = {reps}, smoke = {smoke}").unwrap();
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    writeln!(txt, "host exposes {cores} core(s); the w>1 rows measure threading overhead on a 1-core host").unwrap();
+
+    let mut skewed_speedup_w1 = 0.0;
+    for grid in &grids {
+        let left = make_strings(n, 101, 800, grid.skew);
+        let right = make_strings(n, 103, 800, grid.skew);
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        let measure = SetSimMeasure::Jaccard(grid.threshold);
+
+        // Bit-identity check before timing anything: pair set, order,
+        // and exact f64 similarities must match the seed engine.
+        let (csr_pairs, stats) = join_tokenized_stats(&coll, measure, ProbeSide::Auto);
+        let hash_pairs = join_tokenized_hashmap(&coll, measure);
+        assert_eq!(csr_pairs.len(), hash_pairs.len(), "CSR engine diverged");
+        for (cp, hp) in csr_pairs.iter().zip(&hash_pairs) {
+            assert_eq!((cp.l, cp.r), (hp.l, hp.r), "CSR engine diverged");
+            assert_eq!(cp.sim.to_bits(), hp.sim.to_bits(), "CSR similarity diverged");
+        }
+        let n_pairs = csr_pairs.len();
+
+        writeln!(txt).unwrap();
+        writeln!(
+            txt,
+            "[{}] skew={} threshold={} |pairs|={n_pairs}",
+            grid.name, grid.skew, grid.threshold
+        )
+        .unwrap();
+        writeln!(
+            txt,
+            "cascade: probes={} candidates={} killed_by_size={} killed_by_position={} killed_by_suffix={} verified={} verify_steps={} (pos kill {:.1}%, suffix kill {:.1}%)",
+            stats.probes,
+            stats.candidates,
+            stats.killed_by_size,
+            stats.killed_by_position,
+            stats.killed_by_suffix,
+            stats.verified,
+            stats.verify_steps,
+            100.0 * stats.position_kill_rate(),
+            100.0 * stats.suffix_kill_rate(),
+        )
+        .unwrap();
+
+        let t_hash = median_secs(reps, || {
+            std::hint::black_box(join_tokenized_hashmap(&coll, measure));
+        });
+        let ps_hash = n_pairs as f64 / t_hash;
+        writeln!(txt, "{:>3}  {:>15}  {:>15}  {:>8}", "w", "hashmap p/s", "csr p/s", "speedup")
+            .unwrap();
+
+        let mut json_rows = String::new();
+        let mut speedup_w1 = 0.0;
+        for w in WORKERS {
+            let cfg = ParConfig::workers(w);
+            let t_csr = median_secs(reps, || {
+                std::hint::black_box(join_tokenized_par_side(
+                    &coll,
+                    measure,
+                    ProbeSide::Auto,
+                    &cfg,
+                ));
+            });
+            let ps_csr = n_pairs as f64 / t_csr;
+            // Time-based, so a zero-pair grid still reports a ratio.
+            let speedup = t_hash / t_csr;
+            if w == 1 {
+                speedup_w1 = speedup;
+            }
+            writeln!(txt, "{w:>3}  {ps_hash:>15.0}  {ps_csr:>15.0}  {speedup:>7.2}x").unwrap();
+            if !json_rows.is_empty() {
+                json_rows.push_str(",\n");
+            }
+            write!(
+                json_rows,
+                "      {{\"workers\": {w}, \"csr_pairs_per_sec\": {ps_csr:.0}, \"speedup_vs_hashmap\": {speedup:.2}}}"
+            )
+            .unwrap();
+        }
+        if grid.name == "skewed" {
+            skewed_speedup_w1 = speedup_w1;
+        }
+        if !json_grids.is_empty() {
+            json_grids.push_str(",\n");
+        }
+        write!(
+            json_grids,
+            "    {{\"grid\": \"{}\", \"skew\": {}, \"threshold\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
+            grid.name,
+            grid.skew,
+            grid.threshold,
+            stats.probes,
+            stats.candidates,
+            stats.killed_by_size,
+            stats.killed_by_position,
+            stats.killed_by_suffix,
+            stats.verified,
+            stats.verify_steps,
+            stats.position_kill_rate(),
+            stats.suffix_kill_rate(),
+        )
+        .unwrap();
+    }
+
+    writeln!(txt).unwrap();
+    writeln!(
+        txt,
+        "skewed-grid speedup at 1 worker: {skewed_speedup_w1:.2}x (acceptance floor: 2x CSR vs hashmap)"
+    )
+    .unwrap();
+    print!("{txt}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"simjoin\",\n  \"workload\": {{\"rows_per_side\": {n}, \"vocab\": 800, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"skewed_speedup_w1\": {skewed_speedup_w1:.2},\n  \"grids\": [\n{json_grids}\n  ]\n}}\n"
+    );
+
+    // Best-effort writes (CI smoke may run from a read-only checkout).
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/exp_simjoin.txt", &txt);
+    if !smoke {
+        let _ = std::fs::write("BENCH_simjoin.json", &json);
+    }
+}

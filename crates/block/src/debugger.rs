@@ -8,7 +8,7 @@
 //! returns the top-k most similar surviving pairs — if those look like
 //! matches, the blocker is too aggressive and should be loosened.
 
-use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_simjoin::{set_sim_join, set_sim_join_stats, JoinStats, SetSimMeasure};
 use magellan_table::Table;
 use magellan_textsim::tokenize::AlphanumericTokenizer;
 
@@ -23,6 +23,21 @@ pub struct DroppedPair {
     pub r_row: usize,
     /// Word-Jaccard similarity of the concatenated attributes.
     pub sim: f64,
+}
+
+/// [`debug_blocker`] output plus the permissive join's pruning-cascade
+/// telemetry: which filter stage (size window / positional / suffix)
+/// killed the candidates around the missed matches. A debugger session
+/// where most kills are positional, say, tells the user the blocker's
+/// token prefixes barely overlap — loosening the threshold (not the
+/// attribute choice) is the fix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebugReport {
+    /// Top-k most similar pairs the blocker dropped.
+    pub dropped: Vec<DroppedPair>,
+    /// Per-stage kill counters of the permissive sim-join that searched
+    /// for the dropped pairs.
+    pub join: JoinStats,
 }
 
 /// Concatenate the display forms of `attrs` for each row.
@@ -57,10 +72,25 @@ pub fn debug_blocker(
     k: usize,
     min_sim: f64,
 ) -> magellan_table::Result<Vec<DroppedPair>> {
+    Ok(debug_blocker_report(candidates, a, b, attrs, k, min_sim)?.dropped)
+}
+
+/// [`debug_blocker`] also returning the permissive join's [`JoinStats`]
+/// so users see which pruning stage killed the candidates that contained
+/// the missed matches.
+pub fn debug_blocker_report(
+    candidates: &CandidateSet,
+    a: &Table,
+    b: &Table,
+    attrs: &[&str],
+    k: usize,
+    min_sim: f64,
+) -> magellan_table::Result<DebugReport> {
     let la = concat_attrs(a, attrs)?;
     let rb = concat_attrs(b, attrs)?;
     let tok = AlphanumericTokenizer::as_set();
-    let joined = set_sim_join(&la, &rb, &tok, SetSimMeasure::Jaccard(min_sim.max(1e-6)));
+    let (joined, join) =
+        set_sim_join_stats(&la, &rb, &tok, SetSimMeasure::Jaccard(min_sim.max(1e-6)));
     let mut dropped: Vec<DroppedPair> = joined
         .into_iter()
         .filter(|p| !candidates.contains((p.l as u32, p.r as u32)))
@@ -77,7 +107,7 @@ pub fn debug_blocker(
             .then_with(|| (x.l_row, x.r_row).cmp(&(y.l_row, y.r_row)))
     });
     dropped.truncate(k);
-    Ok(dropped)
+    Ok(DebugReport { dropped, join })
 }
 
 /// Estimated blocker recall against *probable* matches: the fraction of
@@ -174,6 +204,23 @@ mod tests {
         // No high-sim pairs at an impossible threshold: vacuous recall 1.
         let r = estimate_recall(&half, &a, &b, &["name"], 1.0).unwrap();
         assert!(r > 0.0);
+    }
+
+    #[test]
+    fn report_carries_join_cascade_telemetry() {
+        let (a, b) = tables();
+        let cands = CandidateSet::new(vec![(0, 0)]);
+        let report = debug_blocker_report(&cands, &a, &b, &["name", "city"], 5, 0.2).unwrap();
+        // Same dropped pairs as the plain entry point...
+        let plain = debug_blocker(&cands, &a, &b, &["name", "city"], 5, 0.2).unwrap();
+        assert_eq!(report.dropped, plain);
+        // ...plus consistent cascade counters from the permissive join.
+        let j = report.join;
+        assert!(j.probes > 0, "{j:?}");
+        assert!(j.candidates > 0, "{j:?}");
+        assert_eq!(j.candidates, j.killed_by_position + j.verified, "{j:?}");
+        assert_eq!(j.verified, j.killed_by_suffix + j.pairs, "{j:?}");
+        assert!(j.pairs >= report.dropped.len(), "{j:?}");
     }
 
     #[test]

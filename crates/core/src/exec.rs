@@ -114,6 +114,20 @@ impl PhaseCounters {
     pub fn cache_hit_rate(&self) -> f64 {
         self.matching.cache.hit_rate()
     }
+
+    /// Pruning-cascade counters of the blocking phase's sim-joins:
+    /// probes, candidates generated, kills per filter stage (size /
+    /// position / suffix), verification attempts and merge steps, and
+    /// emitted pairs (see [`magellan_par::JoinStats`]).
+    pub fn join_stats(&self) -> magellan_par::JoinStats {
+        self.blocking.join
+    }
+
+    /// Fraction of generated candidates abandoned by the accumulating
+    /// positional filter during blocking.
+    pub fn join_position_kill_rate(&self) -> f64 {
+        self.blocking.join.position_kill_rate()
+    }
 }
 
 /// What the self-healing machinery did during a run: how much damage was
@@ -548,6 +562,23 @@ mod tests {
         assert!(
             (0.0..=1.0).contains(&report.counters.cache_hit_rate()),
             "{cache:?}"
+        );
+        // Join-cascade counters of the blocking-phase sim-join: probes
+        // ran, candidates were generated, every candidate was either
+        // killed by the positional filter or verified, and verification
+        // accounts for suffix kills plus emitted pairs.
+        let join = report.counters.join_stats();
+        assert!(join.probes > 0, "{join:?}");
+        assert!(join.candidates > 0, "{join:?}");
+        assert_eq!(
+            join.candidates,
+            join.killed_by_position + join.verified,
+            "{join:?}"
+        );
+        assert_eq!(join.verified, join.killed_by_suffix + join.pairs, "{join:?}");
+        assert!(
+            (0.0..=1.0).contains(&report.counters.join_position_kill_rate()),
+            "{join:?}"
         );
     }
 

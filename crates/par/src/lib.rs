@@ -186,6 +186,10 @@ pub struct ParStats {
     /// run on a record-preparation cache). Filled by the interned
     /// feature-extraction layer in `magellan-features`.
     pub cache: CacheStats,
+    /// Sim-join pruning-cascade counters of the region (zero for regions
+    /// that aren't similarity joins). Filled by the CSR join engine in
+    /// `magellan-simjoin`.
+    pub join: JoinStats,
 }
 
 /// Effectiveness counters of a record-preparation (tokenize-once) cache:
@@ -235,6 +239,83 @@ impl CacheStats {
     }
 }
 
+/// Pruning-cascade counters of a set-similarity join region: how many
+/// candidates each filter stage of the CSR engine killed before the
+/// (expensive) verification merge, and how much merge work verification
+/// actually spent. The stages fire in order: size window → accumulating
+/// positional filter → bounded suffix verification → exact qualification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Probe records processed (non-empty token sets on the probe side).
+    pub probes: usize,
+    /// Distinct `(probe, indexed)` candidate pairs generated by prefix
+    /// collisions that fell inside the size window.
+    pub candidates: usize,
+    /// Posting entries skipped wholesale by the binary-searched size
+    /// window (postings are size-sorted per token, so these are never
+    /// even branched on).
+    pub killed_by_size: usize,
+    /// Candidates abandoned by the accumulating positional filter: their
+    /// `shared-so-far + remaining-tokens` upper bound fell below the
+    /// required overlap during prefix probing.
+    pub killed_by_position: usize,
+    /// Candidates abandoned *inside* the bounded suffix merge: the
+    /// running upper bound proved the required overlap unreachable
+    /// before the merge finished.
+    pub killed_by_suffix: usize,
+    /// Candidates whose exact overlap was fully computed (the only ones
+    /// that pay a complete verification).
+    pub verified: usize,
+    /// Token comparison steps spent inside verification merges
+    /// (bounded, galloping, and plain phases combined).
+    pub verify_steps: usize,
+    /// Qualifying pairs emitted.
+    pub pairs: usize,
+    /// Regions in which cost-based probe-side selection swapped the
+    /// probe side (indexed the left collection, probed with the right).
+    pub probe_swaps: usize,
+}
+
+impl JoinStats {
+    /// Fold another region's join counters into this one (all sums).
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.probes += other.probes;
+        self.candidates += other.candidates;
+        self.killed_by_size += other.killed_by_size;
+        self.killed_by_position += other.killed_by_position;
+        self.killed_by_suffix += other.killed_by_suffix;
+        self.verified += other.verified;
+        self.verify_steps += other.verify_steps;
+        self.pairs += other.pairs;
+        self.probe_swaps += other.probe_swaps;
+    }
+
+    /// Fraction of generated candidates killed by the positional filter.
+    pub fn position_kill_rate(&self) -> f64 {
+        ratio(self.killed_by_position, self.candidates)
+    }
+
+    /// Fraction of generated candidates killed mid-verification by the
+    /// bounded suffix merge.
+    pub fn suffix_kill_rate(&self) -> f64 {
+        ratio(self.killed_by_suffix, self.candidates)
+    }
+
+    /// Fraction of generated candidates that survived to a full exact
+    /// verification.
+    pub fn verify_rate(&self) -> f64 {
+        ratio(self.verified, self.candidates)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 impl ParStats {
     /// Sum of per-worker busy time.
     pub fn busy_total(&self) -> Duration {
@@ -281,6 +362,7 @@ impl ParStats {
         }
         self.elapsed += other.elapsed;
         self.cache.merge(&other.cache);
+        self.join.merge(&other.join);
     }
 }
 
@@ -604,6 +686,17 @@ mod tests {
                 hits: 0,
                 interner_tokens: 40,
             },
+            join: JoinStats {
+                probes: 10,
+                candidates: 100,
+                killed_by_size: 5,
+                killed_by_position: 40,
+                killed_by_suffix: 20,
+                verified: 40,
+                verify_steps: 400,
+                pairs: 8,
+                probe_swaps: 1,
+            },
         };
         let b = ParStats {
             n_workers: 4,
@@ -623,6 +716,17 @@ mod tests {
                 hits: 5,
                 interner_tokens: 25,
             },
+            join: JoinStats {
+                probes: 5,
+                candidates: 50,
+                killed_by_size: 3,
+                killed_by_position: 10,
+                killed_by_suffix: 10,
+                verified: 30,
+                verify_steps: 100,
+                pairs: 4,
+                probe_swaps: 0,
+            },
         };
         a.merge(&b);
         assert_eq!(a.n_workers, 4);
@@ -641,6 +745,20 @@ mod tests {
         assert_eq!(a.cache.interner_tokens, 40);
         assert!((a.cache.hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        // Join counters sum across regions.
+        assert_eq!(a.join.probes, 15);
+        assert_eq!(a.join.candidates, 150);
+        assert_eq!(a.join.killed_by_size, 8);
+        assert_eq!(a.join.killed_by_position, 50);
+        assert_eq!(a.join.killed_by_suffix, 30);
+        assert_eq!(a.join.verified, 70);
+        assert_eq!(a.join.verify_steps, 500);
+        assert_eq!(a.join.pairs, 12);
+        assert_eq!(a.join.probe_swaps, 1);
+        assert!((a.join.position_kill_rate() - 50.0 / 150.0).abs() < 1e-12);
+        assert!((a.join.suffix_kill_rate() - 0.2).abs() < 1e-12);
+        assert!((a.join.verify_rate() - 70.0 / 150.0).abs() < 1e-12);
+        assert_eq!(JoinStats::default().position_kill_rate(), 0.0);
     }
 
     #[test]

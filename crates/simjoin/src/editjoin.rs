@@ -11,8 +11,20 @@
 
 use std::collections::HashMap;
 
-/// Banded Levenshtein: `Some(dist)` if `dist ≤ max_d`, else `None`.
-/// O((max_d+1)·min(|a|,|b|)) time.
+/// Banded Levenshtein with Ukkonen's cut-off: `Some(dist)` if
+/// `dist ≤ max_d`, else `None`. O((max_d+1)·min(|a|,|b|)) worst case,
+/// and typically much less: besides the static diagonal band, the band
+/// **shrinks adaptively** to the live cells (values ≤ `max_d`) of the
+/// previous row, and the row loop early-exits the moment the running row
+/// minimum exceeds the threshold.
+///
+/// Why shrinking is lossless: the Levenshtein DP is diagonally monotone
+/// (`D[i][j] ≥ D[i-1][j-1]`), so any cell more than one column right of
+/// the previous row's last live cell is itself dead — the upper band
+/// edge can be pulled in to `live_hi + 1`. Symmetrically, once the
+/// boundary column is dead (`i > max_d`), a cell left of the previous
+/// row's first live cell has all three of its inputs dead, so the lower
+/// edge can be pushed out to `live_lo`.
 pub fn levenshtein_within(a: &str, b: &str, max_d: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
@@ -25,34 +37,64 @@ pub fn levenshtein_within(a: &str, b: &str, max_d: usize) -> Option<usize> {
         return Some(m);
     }
     const INF: usize = usize::MAX / 2;
-    // Row over the shorter string; band of width 2*max_d+1 around the diagonal.
+    // Row over the shorter string; band of width ≤ 2*max_d+1 around the
+    // diagonal, clipped to the previous row's live range.
     let mut prev = vec![INF; n + 1];
     let mut cur = vec![INF; n + 1];
     for (j, p) in prev.iter_mut().enumerate().take(max_d.min(n) + 1) {
         *p = j;
     }
+    // Live range of row 0: the whole initialized stretch.
+    let mut live_lo = 0usize;
+    let mut live_hi = max_d.min(n);
+    let mut hi = live_hi;
+    let mut lo = 1usize;
     for i in 1..=m {
-        let lo = i.saturating_sub(max_d).max(1);
-        let hi = (i + max_d).min(n);
+        // Static diagonal band ∩ adaptive live window. The lower edge only
+        // uses the live clip once the boundary column is dead (i > max_d);
+        // before that, column 0 holds a live `i` that can seed the row.
+        // Both edges are kept monotone (`lo` never left of the previous
+        // row's band start) so every `prev` read hits a cell the previous
+        // row actually wrote or sealed.
+        lo = if i > max_d {
+            (i - max_d).max(live_lo).max(lo).max(1)
+        } else {
+            1
+        };
+        hi = (i + max_d).min(n).min(live_hi + 1);
         if lo > hi {
             return None;
         }
         cur[lo - 1] = if lo == 1 { i } else { INF };
-        let mut row_min = cur[lo - 1];
+        live_lo = usize::MAX;
+        live_hi = 0;
+        if lo == 1 && i <= max_d {
+            live_lo = 0;
+            live_hi = 0;
+        }
         for j in lo..=hi {
             let sub = prev[j - 1] + usize::from(b[i - 1] != a[j - 1]);
             let del = prev[j].saturating_add(1);
             let ins = cur[j - 1].saturating_add(1);
-            cur[j] = sub.min(del).min(ins);
-            row_min = row_min.min(cur[j]);
+            let v = sub.min(del).min(ins);
+            cur[j] = v;
+            if v <= max_d {
+                live_lo = live_lo.min(j);
+                live_hi = j;
+            }
         }
         if hi < n {
-            cur[hi + 1] = INF; // seal band edge for next row's `ins` reads
+            cur[hi + 1] = INF; // seal band edge for next row's reads
         }
-        if row_min > max_d {
-            return None;
+        if live_lo == usize::MAX && live_hi == 0 && (lo > 1 || i > max_d) {
+            return None; // no live cell: the running row minimum > max_d
         }
         std::mem::swap(&mut prev, &mut cur);
+    }
+    // If the band contracted away from the final column, the true
+    // distance exceeds max_d by diagonal monotonicity.
+    if hi < n {
+        return None;
     }
     (prev[n] <= max_d).then_some(prev[n])
 }
@@ -228,6 +270,36 @@ mod tests {
                     } else {
                         assert_eq!(banded, None, "{a} {b} d={d}");
                     }
+                }
+            }
+        }
+    }
+
+    /// The adaptive band + early exits must be invisible: for every pair
+    /// and threshold, `levenshtein_within` equals the unbounded DP when
+    /// the distance is within the band and `None` otherwise. Random
+    /// strings over a tiny alphabet maximize collisions and near-misses.
+    #[test]
+    fn bounded_dp_equals_unbounded_on_random_strings() {
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for trial in 0..400 {
+            let la = next() % 14;
+            let lb = next() % 14;
+            let a: String = (0..la).map(|_| (b'a' + (next() % 3) as u8) as char).collect();
+            let b: String = (0..lb).map(|_| (b'a' + (next() % 3) as u8) as char).collect();
+            let full = levenshtein(&a, &b);
+            for d in 0..=10 {
+                let banded = levenshtein_within(&a, &b, d);
+                if full <= d {
+                    assert_eq!(banded, Some(full), "trial={trial} a={a:?} b={b:?} d={d}");
+                } else {
+                    assert_eq!(banded, None, "trial={trial} a={a:?} b={b:?} d={d}");
                 }
             }
         }

@@ -1,45 +1,169 @@
-//! Prefix inverted index.
+//! Flat CSR prefix inverted index.
+//!
+//! The join's dominant data structure maps each token id to the
+//! `(record, position, size)` postings whose *prefix* contains that token.
+//! Because [`crate::collection::TokenizedCollection`] hands us **dense
+//! rarest-first token ids**, the map needs no hashing at all: a CSR
+//! (compressed sparse row) layout stores one contiguous [`Posting`] buffer
+//! plus a token-id-indexed offsets array, so a probe is a single bounds
+//! check and two array reads instead of a `HashMap` probe.
+//!
+//! Within each token's postings list the entries are sorted by
+//! **record size** (ties by record id, which preserves build order), so
+//! the length filter of the join becomes a binary-searched *contiguous
+//! range* ([`PrefixIndex::size_window`]) rather than a per-candidate
+//! branch — out-of-window candidates are skipped wholesale without ever
+//! being touched.
 
-use std::collections::HashMap;
+/// One prefix posting: a record whose prefix holds the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Record id on the indexed side.
+    pub rid: u32,
+    /// Position of the token inside the record's sorted id set.
+    pub pos: u32,
+    /// Token-set size of the record (denormalized so the size filter
+    /// never dereferences the record itself).
+    pub size: u32,
+}
 
-/// Inverted index from token id to the (record, position) pairs whose
-/// *prefix* contains that token. Built over the indexed (right) side of a
-/// join; probed with the prefixes of the other side.
+/// Inverted index from token id to the records whose *prefix* contains
+/// that token, in CSR layout. Built over the indexed side of a join;
+/// probed with the prefixes of the other side.
 #[derive(Debug, Default)]
 pub struct PrefixIndex {
-    postings: HashMap<u32, Vec<(u32, u32)>>,
+    /// `offsets[t]..offsets[t + 1]` delimits token `t`'s postings.
+    offsets: Vec<u32>,
+    /// All postings, grouped by token, each group sorted by `(size, rid)`.
+    postings: Vec<Posting>,
+    /// Prefix length actually indexed per record (`prefix_len_of(size)`
+    /// clamped to the record size) — verification needs it to resume the
+    /// merge after the counted prefix overlap.
+    prefix_lens: Vec<u32>,
 }
 
 impl PrefixIndex {
     /// Build the index. `prefix_len_of(size)` gives the number of leading
     /// (rarest) tokens of a record of that size to index.
     pub fn build(records: &[Vec<u32>], prefix_len_of: impl Fn(usize) -> usize) -> Self {
-        let mut postings: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
-        for (rid, rec) in records.iter().enumerate() {
+        // Pass 0: per-record prefix lengths and the token-id universe.
+        let mut prefix_lens = Vec::with_capacity(records.len());
+        let mut max_token: u32 = 0;
+        let mut n_postings = 0usize;
+        for rec in records {
             let plen = prefix_len_of(rec.len()).min(rec.len());
-            for (pos, &tok) in rec[..plen].iter().enumerate() {
-                postings
-                    .entry(tok)
-                    .or_default()
-                    .push((rid as u32, pos as u32));
+            prefix_lens.push(plen as u32);
+            n_postings += plen;
+            for &tok in &rec[..plen] {
+                max_token = max_token.max(tok);
             }
         }
-        PrefixIndex { postings }
+        let n_tokens = if n_postings == 0 {
+            0
+        } else {
+            max_token as usize + 1
+        };
+
+        // Pass 1: postings count per token → CSR offsets (prefix sum).
+        let mut offsets = vec![0u32; n_tokens + 1];
+        for (rec, &plen) in records.iter().zip(&prefix_lens) {
+            for &tok in &rec[..plen as usize] {
+                offsets[tok as usize + 1] += 1;
+            }
+        }
+        for t in 0..n_tokens {
+            offsets[t + 1] += offsets[t];
+        }
+
+        // Pass 2: scatter into the flat buffer (records in rid order).
+        let mut cursor = offsets.clone();
+        let mut postings = vec![
+            Posting {
+                rid: 0,
+                pos: 0,
+                size: 0
+            };
+            n_postings
+        ];
+        for (rid, (rec, &plen)) in records.iter().zip(&prefix_lens).enumerate() {
+            for (pos, &tok) in rec[..plen as usize].iter().enumerate() {
+                let slot = cursor[tok as usize] as usize;
+                postings[slot] = Posting {
+                    rid: rid as u32,
+                    pos: pos as u32,
+                    size: rec.len() as u32,
+                };
+                cursor[tok as usize] += 1;
+            }
+        }
+
+        // Pass 3: order each list by (size, rid) so the length filter is a
+        // binary-searched contiguous range. The (size, rid) key is a total
+        // order (each record contributes one posting per token), so the
+        // layout is deterministic.
+        for t in 0..n_tokens {
+            let (lo, hi) = (offsets[t] as usize, offsets[t + 1] as usize);
+            postings[lo..hi].sort_unstable_by_key(|p| (p.size, p.rid));
+        }
+
+        PrefixIndex {
+            offsets,
+            postings,
+            prefix_lens,
+        }
     }
 
     /// Postings list of a token (records whose prefix holds the token).
-    pub fn get(&self, token: u32) -> &[(u32, u32)] {
-        self.postings.get(&token).map_or(&[], Vec::as_slice)
+    ///
+    /// Probe tokens are **pre-clamped against the index's token-id range**:
+    /// an out-of-vocabulary token (one the indexed side never put in a
+    /// prefix — common when the probe side has its own rare tokens, which
+    /// get large rarest-first ids) returns the empty slice without any
+    /// lookup machinery, and can never panic or rehash.
+    #[inline]
+    pub fn postings(&self, token: u32) -> &[Posting] {
+        let t = token as usize;
+        if t + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.postings[self.offsets[t] as usize..self.offsets[t + 1] as usize]
     }
 
-    /// Number of distinct indexed tokens.
+    /// The contiguous sub-list of a token's postings whose record sizes
+    /// fall inside `[lo, hi]` — the size filter as two binary searches
+    /// over the size-sorted list instead of one branch per candidate.
+    #[inline]
+    pub fn size_window(&self, token: u32, lo: usize, hi: usize) -> &[Posting] {
+        let list = self.postings(token);
+        let lo = lo.min(u32::MAX as usize) as u32;
+        let hi = hi.min(u32::MAX as usize) as u32;
+        let a = list.partition_point(|p| p.size < lo);
+        let b = list.partition_point(|p| p.size <= hi);
+        &list[a..b]
+    }
+
+    /// Indexed prefix length of a record (already clamped to its size).
+    #[inline]
+    pub fn prefix_len(&self, rid: usize) -> usize {
+        self.prefix_lens[rid] as usize
+    }
+
+    /// Number of token-id slots the CSR offsets cover (= max indexed
+    /// token id + 1; an upper bound on distinct indexed tokens).
+    pub fn n_token_slots(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of distinct indexed tokens (slots with at least one posting).
     pub fn n_tokens(&self) -> usize {
-        self.postings.len()
+        (0..self.n_token_slots())
+            .filter(|&t| self.offsets[t] != self.offsets[t + 1])
+            .count()
     }
 
     /// Total postings across all tokens.
     pub fn n_postings(&self) -> usize {
-        self.postings.values().map(Vec::len).sum()
+        self.postings.len()
     }
 }
 
@@ -47,24 +171,35 @@ impl PrefixIndex {
 mod tests {
     use super::*;
 
+    fn pairs(list: &[Posting]) -> Vec<(u32, u32)> {
+        list.iter().map(|p| (p.rid, p.pos)).collect()
+    }
+
     #[test]
     fn indexes_only_prefixes() {
         let records = vec![vec![1, 2, 3, 4], vec![2, 5], vec![]];
         // Constant prefix length of 2.
         let idx = PrefixIndex::build(&records, |_| 2);
-        assert_eq!(idx.get(1), &[(0, 0)]);
-        assert_eq!(idx.get(2), &[(0, 1), (1, 0)]);
-        assert!(idx.get(3).is_empty(), "token 3 is beyond record 0's prefix");
-        assert_eq!(idx.get(5), &[(1, 1)]);
+        assert_eq!(pairs(idx.postings(1)), &[(0, 0)]);
+        // Token 2: record 1 (size 2) sorts before record 0 (size 4).
+        assert_eq!(pairs(idx.postings(2)), &[(1, 0), (0, 1)]);
+        assert!(
+            idx.postings(3).is_empty(),
+            "token 3 is beyond record 0's prefix"
+        );
+        assert_eq!(pairs(idx.postings(5)), &[(1, 1)]);
         assert_eq!(idx.n_tokens(), 3);
         assert_eq!(idx.n_postings(), 4);
+        assert_eq!(idx.prefix_len(0), 2);
+        assert_eq!(idx.prefix_len(2), 0);
     }
 
     #[test]
     fn prefix_longer_than_record_is_clamped() {
         let records = vec![vec![7]];
         let idx = PrefixIndex::build(&records, |_| 10);
-        assert_eq!(idx.get(7), &[(0, 0)]);
+        assert_eq!(pairs(idx.postings(7)), &[(0, 0)]);
+        assert_eq!(idx.prefix_len(0), 1);
     }
 
     #[test]
@@ -72,7 +207,49 @@ mod tests {
         let records = vec![vec![1, 2, 3, 4], vec![1, 2]];
         // Half the record, at least 1.
         let idx = PrefixIndex::build(&records, |s| (s / 2).max(1));
-        assert_eq!(idx.get(1).len(), 2);
-        assert_eq!(idx.get(2).len(), 1); // only the 4-token record indexes position 1
+        assert_eq!(idx.postings(1).len(), 2);
+        assert_eq!(idx.postings(2).len(), 1); // only the 4-token record indexes position 1
+    }
+
+    /// Regression: probe tokens the indexed side never saw (ids beyond the
+    /// CSR range) must resolve to the empty slice — no panic, no rehash.
+    #[test]
+    fn out_of_vocabulary_probe_tokens_are_clamped() {
+        let records = vec![vec![0, 1], vec![1, 2]];
+        let idx = PrefixIndex::build(&records, |_| 2);
+        assert!(idx.postings(3).is_empty());
+        assert!(idx.postings(1_000_000).is_empty());
+        assert!(idx.postings(u32::MAX).is_empty());
+        assert!(idx.size_window(u32::MAX, 0, usize::MAX).is_empty());
+        // And the empty index clamps everything.
+        let empty = PrefixIndex::build(&[], |_| 2);
+        assert!(empty.postings(0).is_empty());
+        assert_eq!(empty.n_token_slots(), 0);
+        // An index whose only records are empty also has zero slots.
+        let blank = PrefixIndex::build(&[vec![], vec![]], |_| 3);
+        assert!(blank.postings(0).is_empty());
+        assert_eq!(blank.n_postings(), 0);
+    }
+
+    #[test]
+    fn postings_are_size_sorted_and_window_is_contiguous() {
+        // Token 9 appears in prefixes of records with sizes 5, 2, 8, 2.
+        let records = vec![
+            vec![9, 10, 11, 12, 13],
+            vec![9, 14],
+            vec![9, 15, 16, 17, 18, 19, 20, 21],
+            vec![9, 22],
+        ];
+        let idx = PrefixIndex::build(&records, |_| 1);
+        let sizes: Vec<u32> = idx.postings(9).iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![2, 2, 5, 8]);
+        // Ties broken by rid, ascending.
+        assert_eq!(idx.postings(9)[0].rid, 1);
+        assert_eq!(idx.postings(9)[1].rid, 3);
+        // Windows are binary-searched contiguous ranges.
+        assert_eq!(idx.size_window(9, 2, 5).len(), 3);
+        assert_eq!(idx.size_window(9, 3, 4).len(), 0);
+        assert_eq!(idx.size_window(9, 6, usize::MAX).len(), 1);
+        assert_eq!(idx.size_window(9, 0, usize::MAX).len(), 4);
     }
 }

@@ -1,11 +1,40 @@
-//! The filter-verify set-similarity join.
+//! The filter-verify set-similarity join: an adaptive CSR engine.
+//!
+//! The engine runs a four-stage pruning cascade per probe record:
+//!
+//! 1. **Size filter** — each probe token's CSR postings list is
+//!    size-sorted, so the admissible partner sizes are a binary-searched
+//!    contiguous window ([`PrefixIndex::size_window`]); out-of-window
+//!    postings are skipped wholesale.
+//! 2. **Accumulating positional filter** (PPJoin-style) — per-candidate
+//!    overlap counters accumulate across *all* prefix collisions; after
+//!    each collision the candidate's remaining-token upper bound
+//!    (`cnt + min(remaining_x, remaining_y)`) is checked against the
+//!    required `min_overlap` and the candidate is abandoned the moment it
+//!    cannot qualify.
+//! 3. **Suffix-resumed bounded verification** — for survivors, the
+//!    counted prefix overlap is *resumed* (not recomputed): only the
+//!    token ranges that can still hold uncounted shared tokens are
+//!    merged, through [`crate::verify::overlap_sorted_bounded`], which
+//!    early-exits on failure and gallops on heavy set-size skew.
+//! 4. **Cost-based probe-side selection** — the smaller collection (by
+//!    total tokens) is indexed and the larger probed, with pair
+//!    orientation remapped so output is **bit-identical** either way
+//!    (every measure's similarity and `min_overlap` are symmetric in the
+//!    two set sizes, the filters are conservative, and verification is
+//!    exact).
+//!
+//! Per-stage kill counters are reported through
+//! [`magellan_par::JoinStats`]; all counters are pure functions of
+//! (probe record, index), so they are identical for any worker count.
 
-use magellan_par::{ParConfig, ParStats};
+use magellan_par::{JoinStats, ParConfig, ParStats};
 use magellan_textsim::tokenize::Tokenizer;
 
-use crate::collection::{overlap_sorted, TokenizedCollection};
+use crate::collection::TokenizedCollection;
 use crate::filters;
 use crate::index::PrefixIndex;
+use crate::verify::overlap_sorted_bounded;
 
 /// A similarity measure + threshold for a set-similarity join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +50,7 @@ pub enum SetSimMeasure {
 }
 
 impl SetSimMeasure {
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         match self {
             SetSimMeasure::Jaccard(t) | SetSimMeasure::Cosine(t) | SetSimMeasure::Dice(t) => {
                 assert!(
@@ -36,7 +65,7 @@ impl SetSimMeasure {
     }
 
     /// Prefix length of a set of size `s` on either side of the join.
-    fn prefix_len(&self, s: usize) -> usize {
+    pub(crate) fn prefix_len(&self, s: usize) -> usize {
         match *self {
             SetSimMeasure::Jaccard(t) => filters::jaccard_prefix_len(s, t),
             SetSimMeasure::Cosine(t) => filters::cosine_prefix_len(s, t),
@@ -46,7 +75,7 @@ impl SetSimMeasure {
     }
 
     /// Admissible partner sizes for a set of size `s`.
-    fn size_bounds(&self, s: usize) -> (usize, usize) {
+    pub(crate) fn size_bounds(&self, s: usize) -> (usize, usize) {
         match *self {
             SetSimMeasure::Jaccard(t) => filters::jaccard_size_bounds(s, t),
             SetSimMeasure::Cosine(t) => filters::cosine_size_bounds(s, t),
@@ -55,8 +84,9 @@ impl SetSimMeasure {
         }
     }
 
-    /// Similarity value reported for a verified pair.
-    fn similarity(&self, sx: usize, sy: usize, overlap: usize) -> f64 {
+    /// Similarity value reported for a verified pair. **Symmetric** in
+    /// `(sx, sy)` for every measure — the probe-side swap depends on it.
+    pub(crate) fn similarity(&self, sx: usize, sy: usize, overlap: usize) -> f64 {
         match self {
             SetSimMeasure::Jaccard(_) => overlap as f64 / (sx + sy - overlap) as f64,
             SetSimMeasure::Cosine(_) => overlap as f64 / ((sx * sy) as f64).sqrt(),
@@ -66,7 +96,8 @@ impl SetSimMeasure {
     }
 
     /// Minimum intersection size a pair of these sizes needs to qualify.
-    fn min_overlap(&self, sx: usize, sy: usize) -> usize {
+    /// Also symmetric in `(sx, sy)`.
+    pub(crate) fn min_overlap(&self, sx: usize, sy: usize) -> usize {
         match *self {
             SetSimMeasure::Jaccard(t) => filters::jaccard_min_overlap(sx, sy, t),
             SetSimMeasure::Cosine(t) => filters::cosine_min_overlap(sx, sy, t),
@@ -76,7 +107,7 @@ impl SetSimMeasure {
     }
 
     /// Does a pair with the given sizes and exact overlap qualify?
-    fn qualifies(&self, sx: usize, sy: usize, overlap: usize) -> bool {
+    pub(crate) fn qualifies(&self, sx: usize, sy: usize, overlap: usize) -> bool {
         overlap >= self.min_overlap(sx, sy)
     }
 }
@@ -90,6 +121,104 @@ pub struct JoinPair {
     pub r: usize,
     /// The measure's similarity value (overlap size for `OverlapSize`).
     pub sim: f64,
+}
+
+/// Which collection the join probes with (the other side is indexed).
+/// Output is **bit-identical** for every choice; only cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeSide {
+    /// Cost-based: index the smaller collection (fewer total tokens),
+    /// probe with the larger. Ties probe with the left (the historical
+    /// orientation).
+    #[default]
+    Auto,
+    /// Probe with the left collection, index the right.
+    Left,
+    /// Probe with the right collection, index the left.
+    Right,
+}
+
+/// The resolved orientation of one join run.
+struct ProbePlan<'a> {
+    probe: &'a [Vec<u32>],
+    indexed: &'a [Vec<u32>],
+    /// `true` when probing with the *right* collection — emitted pairs
+    /// then put the indexed rid in `l` and the probe rid in `r`.
+    swap: bool,
+}
+
+impl<'a> ProbePlan<'a> {
+    fn choose(coll: &'a TokenizedCollection, side: ProbeSide) -> Self {
+        let swap = match side {
+            ProbeSide::Left => false,
+            ProbeSide::Right => true,
+            ProbeSide::Auto => {
+                let lt: usize = coll.left.iter().map(Vec::len).sum();
+                let rt: usize = coll.right.iter().map(Vec::len).sum();
+                // Probe with the larger side (index the smaller); ties
+                // keep the historical probe-left orientation.
+                rt > lt
+            }
+        };
+        if swap {
+            ProbePlan {
+                probe: &coll.right,
+                indexed: &coll.left,
+                swap: true,
+            }
+        } else {
+            ProbePlan {
+                probe: &coll.left,
+                indexed: &coll.right,
+                swap: false,
+            }
+        }
+    }
+}
+
+/// Per-candidate accumulator for the positional filter, fused with its
+/// validity stamp so one random access per collision touches one cache
+/// line instead of two.
+#[derive(Clone, Copy)]
+struct Slot {
+    /// `stamp == probe id` ⇔ the rest of the slot is live for this probe.
+    stamp: u32,
+    /// Prefix collisions counted so far; [`DEAD`] once abandoned.
+    cnt: u32,
+    /// Probe-side position of the last collision.
+    px: u32,
+    /// Indexed-side position of the last collision.
+    py: u32,
+    /// Cached `min_overlap` for this pair's sizes.
+    need: u32,
+}
+
+/// Sentinel marking a candidate killed by the positional filter.
+const DEAD: u32 = u32::MAX;
+
+/// Reusable per-worker probe scratch (stamp-validated, never cleared).
+struct Scratch {
+    slots: Vec<Slot>,
+    /// Candidates touched by the current probe, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n_indexed: usize) -> Self {
+        Scratch {
+            slots: vec![
+                Slot {
+                    stamp: u32::MAX,
+                    cnt: 0,
+                    px: 0,
+                    py: 0,
+                    need: 0
+                };
+                n_indexed
+            ],
+            touched: Vec::new(),
+        }
+    }
 }
 
 /// Join two string collections. `None` / empty-token records never match
@@ -114,67 +243,162 @@ pub fn set_sim_join<S: AsRef<str>>(
     tokenizer: &dyn Tokenizer,
     measure: SetSimMeasure,
 ) -> Vec<JoinPair> {
+    set_sim_join_stats(left, right, tokenizer, measure).0
+}
+
+/// [`set_sim_join`] also returning the pruning-cascade telemetry.
+pub fn set_sim_join_stats<S: AsRef<str>>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    tokenizer: &dyn Tokenizer,
+    measure: SetSimMeasure,
+) -> (Vec<JoinPair>, JoinStats) {
     measure.validate();
     let coll = TokenizedCollection::build(left, right, tokenizer);
-    join_tokenized(&coll, measure)
+    join_tokenized_stats(&coll, measure, ProbeSide::Auto)
 }
 
 /// Join a pre-tokenized collection (lets callers reuse tokenization).
 pub fn join_tokenized(coll: &TokenizedCollection, measure: SetSimMeasure) -> Vec<JoinPair> {
-    measure.validate();
-    let index = PrefixIndex::build(&coll.right, |s| measure.prefix_len(s));
-    let mut out = Vec::new();
-    let mut stamps = vec![u32::MAX; coll.right.len()];
-    for (l, x) in coll.left.iter().enumerate() {
-        probe_one(l, x, coll, &index, measure, &mut stamps, &mut out);
-    }
-    out.sort_unstable_by_key(|a| (a.l, a.r));
-    out
+    join_tokenized_stats(coll, measure, ProbeSide::Auto).0
 }
 
-/// Probe a single left record against the prefix index.
-fn probe_one(
-    l: usize,
-    x: &[u32],
+/// Serial join with an explicit probe side and full [`JoinStats`].
+/// Output (pair set, order, and bit-exact similarities) is identical for
+/// every [`ProbeSide`].
+pub fn join_tokenized_stats(
     coll: &TokenizedCollection,
+    measure: SetSimMeasure,
+    side: ProbeSide,
+) -> (Vec<JoinPair>, JoinStats) {
+    measure.validate();
+    let plan = ProbePlan::choose(coll, side);
+    let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
+    let mut scratch = Scratch::new(plan.indexed.len());
+    let mut out = Vec::new();
+    let mut stats = JoinStats::default();
+    for (p, x) in plan.probe.iter().enumerate() {
+        probe_one(
+            p,
+            x,
+            plan.indexed,
+            &index,
+            measure,
+            plan.swap,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
+    }
+    out.sort_unstable_by_key(|a| (a.l, a.r));
+    stats.pairs = out.len();
+    stats.probe_swaps = plan.swap as usize;
+    (out, stats)
+}
+
+/// Probe a single record against the prefix index through the
+/// size → positional → suffix cascade. Pure in `(probe record, index)`:
+/// emitted pairs and every counter increment are chunking-independent.
+#[allow(clippy::too_many_arguments)]
+fn probe_one(
+    probe_rid: usize,
+    x: &[u32],
+    indexed: &[Vec<u32>],
     index: &PrefixIndex,
     measure: SetSimMeasure,
-    stamps: &mut [u32],
+    swap: bool,
+    scratch: &mut Scratch,
     out: &mut Vec<JoinPair>,
+    stats: &mut JoinStats,
 ) {
     let sx = x.len();
     if sx == 0 {
         return;
     }
+    stats.probes += 1;
     let (lo, hi) = measure.size_bounds(sx);
     let probe_len = measure.prefix_len(sx).min(sx);
-    let stamp = l as u32;
+    let stamp = probe_rid as u32;
+    scratch.touched.clear();
+
+    // Stage 1 + 2: collect prefix collisions, size windows first, then
+    // the accumulating positional bound per collision.
+    let size_lo = lo.min(u32::MAX as usize) as u32;
+    let size_hi = hi.min(u32::MAX as usize) as u32;
+    // `min_overlap` memo: postings are size-sorted, so runs of candidates
+    // share a size — recompute the (float-ceil) bound only on size change.
+    let mut memo_sy = u32::MAX;
+    let mut memo_need = 0u32;
     for (px, &tok) in x[..probe_len].iter().enumerate() {
-        for &(rid, py) in index.get(tok) {
-            let rid = rid as usize;
-            if stamps[rid] == stamp {
-                continue; // already considered for this probe
-            }
-            stamps[rid] = stamp;
-            let y = &coll.right[rid];
-            let sy = y.len();
-            if sy < lo || sy > hi {
+        let list = index.postings(tok);
+        // The size filter as two binary searches over the size-sorted
+        // postings list: one contiguous in-window range.
+        let a = list.partition_point(|p| p.size < size_lo);
+        let b = list.partition_point(|p| p.size <= size_hi);
+        stats.killed_by_size += list.len() - (b - a);
+        for p in &list[a..b] {
+            let slot = &mut scratch.slots[p.rid as usize];
+            if slot.stamp != stamp {
+                slot.stamp = stamp;
+                slot.cnt = 0;
+                if p.size != memo_sy {
+                    memo_sy = p.size;
+                    memo_need = measure.min_overlap(sx, p.size as usize) as u32;
+                }
+                slot.need = memo_need;
+                stats.candidates += 1;
+                scratch.touched.push(p.rid);
+            } else if slot.cnt == DEAD {
                 continue;
             }
-            // Position filter: this is the pair's *first* shared prefix
-            // token (tokens are globally ordered and both sets sorted, so
-            // the first collision in probe order is the smallest shared
-            // token on both sides). The intersection is therefore bounded
-            // by 1 + what remains after these positions.
-            let ubound = 1 + (sx - px - 1).min(sy - py as usize - 1);
-            if ubound < measure.min_overlap(sx, sy) {
-                continue;
+            slot.cnt += 1;
+            slot.px = px as u32;
+            slot.py = p.pos;
+            // Positional bound: every uncounted shared token exceeds the
+            // current collision token (anything smaller in both sets is
+            // already a counted prefix collision), so it must live in
+            // both remainders.
+            let rem = (sx - px - 1).min((p.size - p.pos - 1) as usize);
+            if (slot.cnt as usize) + rem < slot.need as usize {
+                slot.cnt = DEAD;
+                stats.killed_by_position += 1;
             }
-            let overlap = overlap_sorted(x, y);
-            if measure.qualifies(sx, sy, overlap) {
+        }
+    }
+
+    // Stage 3: suffix-resumed bounded verification of the survivors.
+    // `cnt` already equals |x[..probe_len] ∩ y[..plen_y]| — only the
+    // ranges that can hold *uncounted* shared tokens are merged. With
+    // wx/wy the last prefix tokens: if wx ≤ wy every uncounted shared
+    // token is > wx, hence in x's suffix and past y's last collision;
+    // symmetrically otherwise.
+    for &rid in &scratch.touched {
+        let st = scratch.slots[rid as usize];
+        if st.cnt == DEAD {
+            continue;
+        }
+        let rid = rid as usize;
+        let y = &indexed[rid];
+        let sy = y.len();
+        let plen_y = index.prefix_len(rid);
+        let cnt = st.cnt as usize;
+        let need = st.need as usize;
+        let (rest_x, rest_y) = if x[probe_len - 1] <= y[plen_y - 1] {
+            (&x[probe_len..], &y[st.py as usize + 1..])
+        } else {
+            (&x[st.px as usize + 1..], &y[plen_y..])
+        };
+        stats.verified += 1;
+        match overlap_sorted_bounded(rest_x, rest_y, need.saturating_sub(cnt), &mut stats.verify_steps)
+        {
+            None => stats.killed_by_suffix += 1,
+            Some(sub) => {
+                let overlap = cnt + sub;
+                debug_assert!(measure.qualifies(sx, sy, overlap));
+                let (l, r) = if swap { (rid, probe_rid) } else { (probe_rid, rid) };
                 out.push(JoinPair {
                     l,
-                    r: rid,
+                    r,
                     sim: measure.similarity(sx, sy, overlap),
                 });
             }
@@ -206,29 +430,60 @@ pub fn join_tokenized_parallel(
     join_tokenized_par(coll, measure, &ParConfig::workers(n_workers)).0
 }
 
-/// Work-stealing probe-side join: left records are chunked, chunks are
+/// Work-stealing probe-side join: probe records are chunked, chunks are
 /// claimed dynamically by idle workers, and per-chunk outputs are merged in
 /// chunk order — the result is **bit-identical** to [`join_tokenized`] for
-/// any worker count (each probe is a pure function of its left record; the
-/// final `(l, r)` sort is independent of chunking). Also returns the
-/// region's [`ParStats`] counters.
+/// any worker count (each probe is a pure function of its record and the
+/// shared index; the final `(l, r)` sort is independent of chunking).
+/// Returns the region's [`ParStats`], with [`ParStats::join`] filled with
+/// the cascade's kill counters (themselves worker-count invariant).
 pub fn join_tokenized_par(
     coll: &TokenizedCollection,
     measure: SetSimMeasure,
     cfg: &ParConfig,
 ) -> (Vec<JoinPair>, ParStats) {
+    join_tokenized_par_side(coll, measure, ProbeSide::Auto, cfg)
+}
+
+/// [`join_tokenized_par`] with an explicit probe side.
+pub fn join_tokenized_par_side(
+    coll: &TokenizedCollection,
+    measure: SetSimMeasure,
+    side: ProbeSide,
+    cfg: &ParConfig,
+) -> (Vec<JoinPair>, ParStats) {
     measure.validate();
-    let index = PrefixIndex::build(&coll.right, |s| measure.prefix_len(s));
-    let (chunks, stats) = magellan_par::chunk_map(coll.left.len(), cfg, |range| {
+    let plan = ProbePlan::choose(coll, side);
+    let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
+    let (chunks, mut stats) = magellan_par::chunk_map(plan.probe.len(), cfg, |range| {
+        let mut scratch = Scratch::new(plan.indexed.len());
         let mut out = Vec::new();
-        let mut stamps = vec![u32::MAX; coll.right.len()];
-        for l in range {
-            probe_one(l, &coll.left[l], coll, &index, measure, &mut stamps, &mut out);
+        let mut js = JoinStats::default();
+        for p in range {
+            probe_one(
+                p,
+                &plan.probe[p],
+                plan.indexed,
+                &index,
+                measure,
+                plan.swap,
+                &mut scratch,
+                &mut out,
+                &mut js,
+            );
         }
-        out
+        (out, js)
     });
-    let mut out: Vec<JoinPair> = chunks.into_iter().flatten().collect();
+    let mut out = Vec::new();
+    let mut js = JoinStats::default();
+    for (chunk_pairs, chunk_js) in chunks {
+        out.extend(chunk_pairs);
+        js.merge(&chunk_js);
+    }
     out.sort_unstable_by_key(|a| (a.l, a.r));
+    js.pairs = out.len();
+    js.probe_swaps = plan.swap as usize;
+    stats.join = js;
     (out, stats)
 }
 
@@ -274,6 +529,27 @@ mod tests {
 
     fn pairs(join: &[JoinPair]) -> Vec<(usize, usize)> {
         join.iter().map(|p| (p.l, p.r)).collect()
+    }
+
+    fn soup(seed: u64, n: usize, max_len: usize, vocab: usize) -> Vec<Option<String>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        (0..n)
+            .map(|_| {
+                let n = 1 + next() % max_len;
+                Some(
+                    (0..n)
+                        .map(|_| format!("t{}", next() % vocab))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -344,22 +620,8 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial() {
-        let mut left = Vec::new();
-        let mut right = Vec::new();
-        // Deterministic pseudo-random token soup.
-        let mut state = 7u64;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        for _ in 0..200 {
-            let n = 1 + next() % 6;
-            let toks: Vec<String> = (0..n).map(|_| format!("t{}", next() % 40)).collect();
-            left.push(Some(toks.join(" ")));
-            let n = 1 + next() % 6;
-            let toks: Vec<String> = (0..n).map(|_| format!("t{}", next() % 40)).collect();
-            right.push(Some(toks.join(" ")));
-        }
+        let left = soup(7, 200, 6, 40);
+        let right = soup(8, 200, 6, 40);
         let tok = WhitespaceTokenizer::new();
         for measure in [
             SetSimMeasure::Jaccard(0.6),
@@ -367,35 +629,16 @@ mod tests {
             SetSimMeasure::Dice(0.65),
             SetSimMeasure::OverlapSize(2),
         ] {
-            let mut serial = set_sim_join(&left, &right, &tok, measure);
-            serial.sort_unstable_by_key(|a| (a.l, a.r));
+            let serial = set_sim_join(&left, &right, &tok, measure);
             let par = set_sim_join_parallel(&left, &right, &tok, measure, 4);
-            assert_eq!(pairs(&serial), pairs(&par), "{measure:?}");
+            assert_eq!(serial, par, "{measure:?}");
         }
     }
 
     #[test]
     fn cosine_and_dice_match_naive_on_random_soup() {
-        let mut state = 99u64;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        let mk = |next: &mut dyn FnMut() -> usize| -> Vec<Option<String>> {
-            (0..60)
-                .map(|_| {
-                    let n = 1 + next() % 5;
-                    Some(
-                        (0..n)
-                            .map(|_| format!("w{}", next() % 25))
-                            .collect::<Vec<_>>()
-                            .join(" "),
-                    )
-                })
-                .collect()
-        };
-        let left = mk(&mut next);
-        let right = mk(&mut next);
+        let left = soup(99, 60, 5, 25);
+        let right = soup(100, 60, 5, 25);
         let tok = WhitespaceTokenizer::new();
         for measure in [SetSimMeasure::Cosine(0.6), SetSimMeasure::Dice(0.6)] {
             let fast = set_sim_join(&left, &right, &tok, measure);
@@ -415,5 +658,101 @@ mod tests {
         let out = set_sim_join(&left, &right, &tok, SetSimMeasure::Jaccard(0.3));
         assert_eq!(out.len(), 1);
         assert!((out[0].sim - 0.5).abs() < 1e-12);
+    }
+
+    /// The three probe sides must agree **bit-for-bit** — same pair set,
+    /// same order, same f64 similarities — on asymmetric collections.
+    #[test]
+    fn probe_side_is_output_invariant() {
+        let tok = WhitespaceTokenizer::new();
+        // Deliberately lopsided: left is much bigger than right, so Auto
+        // probes left; also run the forced orientations.
+        let left = soup(41, 300, 7, 30);
+        let right = soup(43, 40, 4, 30);
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        for measure in [
+            SetSimMeasure::Jaccard(0.5),
+            SetSimMeasure::Cosine(0.6),
+            SetSimMeasure::Dice(0.6),
+            SetSimMeasure::OverlapSize(2),
+        ] {
+            let (auto, s_auto) = join_tokenized_stats(&coll, measure, ProbeSide::Auto);
+            let (l, _) = join_tokenized_stats(&coll, measure, ProbeSide::Left);
+            let (r, s_r) = join_tokenized_stats(&coll, measure, ProbeSide::Right);
+            assert_eq!(auto, l, "{measure:?} auto vs left");
+            assert_eq!(auto, r, "{measure:?} auto vs right");
+            assert_eq!(s_auto.pairs, auto.len());
+            assert_eq!(s_r.probe_swaps, 1, "forced right probe records a swap");
+        }
+    }
+
+    /// Cascade counters are internally consistent and worker-count
+    /// invariant.
+    #[test]
+    fn join_stats_are_consistent_and_worker_invariant() {
+        let tok = WhitespaceTokenizer::new();
+        let left = soup(17, 150, 6, 20);
+        let right = soup(19, 150, 6, 20);
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        let measure = SetSimMeasure::Jaccard(0.5);
+        let (out, serial) = join_tokenized_stats(&coll, measure, ProbeSide::Auto);
+        // Every generated candidate is either killed by position or
+        // verified; verification either kills by suffix or emits a pair.
+        assert_eq!(
+            serial.candidates,
+            serial.killed_by_position + serial.verified
+        );
+        assert_eq!(serial.verified, serial.killed_by_suffix + out.len());
+        assert_eq!(serial.pairs, out.len());
+        assert!(serial.probes > 0 && serial.verify_steps > 0);
+        for workers in [1, 4] {
+            let (pout, pstats) =
+                join_tokenized_par(&coll, measure, &ParConfig::workers(workers));
+            assert_eq!(pout, out, "workers={workers}");
+            let pj = pstats.join;
+            assert_eq!(
+                (
+                    pj.probes,
+                    pj.candidates,
+                    pj.killed_by_size,
+                    pj.killed_by_position,
+                    pj.killed_by_suffix,
+                    pj.verified,
+                    pj.verify_steps,
+                    pj.pairs
+                ),
+                (
+                    serial.probes,
+                    serial.candidates,
+                    serial.killed_by_size,
+                    serial.killed_by_position,
+                    serial.killed_by_suffix,
+                    serial.verified,
+                    serial.verify_steps,
+                    serial.pairs
+                ),
+                "workers={workers}"
+            );
+        }
+    }
+
+    /// The CSR engine agrees bit-for-bit with the preserved HashMap
+    /// reference engine.
+    #[test]
+    fn csr_engine_equals_reference_engine() {
+        let tok = WhitespaceTokenizer::new();
+        let left = soup(5, 120, 6, 30);
+        let right = soup(6, 120, 6, 30);
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        for measure in [
+            SetSimMeasure::Jaccard(0.4),
+            SetSimMeasure::Cosine(0.7),
+            SetSimMeasure::Dice(0.6),
+            SetSimMeasure::OverlapSize(3),
+        ] {
+            let new = join_tokenized(&coll, measure);
+            let old = crate::reference::join_tokenized_hashmap(&coll, measure);
+            assert_eq!(new, old, "{measure:?}");
+        }
     }
 }

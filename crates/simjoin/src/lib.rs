@@ -17,7 +17,15 @@
 //!    tokens; pairs sharing no prefix token cannot reach the threshold
 //!    ([`filters`], [`index`]);
 //! 4. **verify**: compute the exact similarity on the surviving candidates
-//!    ([`join`]).
+//!    ([`join`], [`verify`]).
+//!
+//! The join is an **adaptive CSR engine**: a flat token-id-indexed
+//! postings layout with size-sorted lists ([`index`]), PPJoin-style
+//! accumulating positional + suffix pruning, bounded galloping
+//! verification ([`verify`]), and cost-based probe-side selection
+//! ([`join::ProbeSide`]) — all under an output-identical contract pinned
+//! against the preserved pre-CSR engine ([`reference`]). Per-stage kill
+//! counters surface through [`magellan_par::JoinStats`].
 //!
 //! Supported measures: Jaccard, cosine, Dice, absolute overlap
 //! ([`join::set_sim_join`]) and edit distance ([`editjoin::edit_distance_join`]).
@@ -32,9 +40,14 @@ pub mod editjoin;
 pub mod filters;
 pub mod index;
 pub mod join;
+pub mod reference;
+pub mod verify;
 
 pub use collection::TokenizedCollection;
 pub use join::{
-    join_tokenized, join_tokenized_par, set_sim_join, set_sim_join_parallel, JoinPair,
-    SetSimMeasure,
+    join_tokenized, join_tokenized_par, join_tokenized_par_side, join_tokenized_stats,
+    set_sim_join, set_sim_join_parallel, set_sim_join_stats, JoinPair, ProbeSide, SetSimMeasure,
 };
+pub use magellan_par::JoinStats;
+pub use reference::join_tokenized_hashmap;
+pub use verify::overlap_sorted_bounded;

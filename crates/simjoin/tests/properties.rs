@@ -3,8 +3,12 @@
 //! qualifying pair (no false negatives) nor admit an unqualified one after
 //! verification (no false positives).
 
+use magellan_par::ParConfig;
 use magellan_simjoin::editjoin::edit_distance_join;
-use magellan_simjoin::{set_sim_join, SetSimMeasure};
+use magellan_simjoin::{
+    join_tokenized_hashmap, join_tokenized_par_side, join_tokenized_stats, set_sim_join,
+    JoinPair, ProbeSide, SetSimMeasure, TokenizedCollection,
+};
 use magellan_textsim::seqsim::levenshtein;
 use magellan_textsim::setsim;
 use magellan_textsim::tokenize::{Tokenizer, WhitespaceTokenizer};
@@ -79,6 +83,79 @@ proptest! {
         let fast: Vec<(usize, usize)> = set_sim_join(&left, &right, &tok, SetSimMeasure::OverlapSize(c))
             .into_iter().map(|p| (p.l, p.r)).collect();
         prop_assert_eq!(fast, naive_set(&left, &right, SetSimMeasure::OverlapSize(c)));
+    }
+
+    /// The full oracle grid for the CSR engine: random token soups ×
+    /// all four measures × thresholds {0.3, 0.6, 0.8, 1.0} (mapped to
+    /// small absolute counts for `OverlapSize`) × probe sides
+    /// {Auto, Left, Right} × worker counts {1, 4}. Every cell must be
+    /// **bit-identical** — same `(l, r)` pair set in the same order and
+    /// the exact same f64 similarity — to the naive cross-product oracle
+    /// and to the preserved pre-CSR HashMap engine.
+    #[test]
+    fn csr_engine_grid_equals_naive_oracle(left in strings(), right in strings()) {
+        let tok = WhitespaceTokenizer::new();
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        let measures = [
+            SetSimMeasure::Jaccard(0.3), SetSimMeasure::Jaccard(0.6),
+            SetSimMeasure::Jaccard(0.8), SetSimMeasure::Jaccard(1.0),
+            SetSimMeasure::Cosine(0.3), SetSimMeasure::Cosine(0.6),
+            SetSimMeasure::Cosine(0.8), SetSimMeasure::Cosine(1.0),
+            SetSimMeasure::Dice(0.3), SetSimMeasure::Dice(0.6),
+            SetSimMeasure::Dice(0.8), SetSimMeasure::Dice(1.0),
+            SetSimMeasure::OverlapSize(1), SetSimMeasure::OverlapSize(2),
+            SetSimMeasure::OverlapSize(3),
+        ];
+        for measure in measures {
+            // Naive cross-product oracle, with exact similarities from
+            // the same `setsim` arithmetic the engine must reproduce.
+            let mut oracle: Vec<JoinPair> = Vec::new();
+            for (l, a) in left.iter().enumerate() {
+                for (r, b) in right.iter().enumerate() {
+                    let (Some(a), Some(b)) = (a, b) else { continue };
+                    let ta = tok.tokenize(a);
+                    let tb = tok.tokenize(b);
+                    if ta.is_empty() || tb.is_empty() {
+                        continue;
+                    }
+                    let (ok, sim) = match measure {
+                        SetSimMeasure::Jaccard(t) => {
+                            let s = setsim::jaccard(&ta, &tb);
+                            (s >= t - 1e-9, s)
+                        }
+                        SetSimMeasure::Cosine(t) => {
+                            let s = setsim::cosine(&ta, &tb);
+                            (s >= t - 1e-9, s)
+                        }
+                        SetSimMeasure::Dice(t) => {
+                            let s = setsim::dice(&ta, &tb);
+                            (s >= t - 1e-9, s)
+                        }
+                        SetSimMeasure::OverlapSize(c) => {
+                            let s = setsim::overlap_size(&ta, &tb);
+                            (s >= c, s as f64)
+                        }
+                    };
+                    if ok {
+                        oracle.push(JoinPair { l, r, sim });
+                    }
+                }
+            }
+            let reference = join_tokenized_hashmap(&coll, measure);
+            prop_assert_eq!(&reference, &oracle, "reference vs oracle {:?}", measure);
+            for side in [ProbeSide::Auto, ProbeSide::Left, ProbeSide::Right] {
+                let (serial, stats) = join_tokenized_stats(&coll, measure, side);
+                prop_assert_eq!(&serial, &oracle, "serial {:?} {:?}", measure, side);
+                prop_assert_eq!(stats.pairs, oracle.len());
+                for workers in [1usize, 4] {
+                    let (par, pstats) = join_tokenized_par_side(
+                        &coll, measure, side, &ParConfig::workers(workers));
+                    prop_assert_eq!(&par, &oracle,
+                        "par {:?} {:?} workers={}", measure, side, workers);
+                    prop_assert_eq!(pstats.join.pairs, oracle.len());
+                }
+            }
+        }
     }
 
     #[test]
