@@ -13,7 +13,9 @@ use magellan_datagen::{DirtModel, ScenarioConfig};
 use magellan_simjoin::SetSimMeasure;
 
 fn main() {
-    println!("Blocker ablation — recall vs reduction across domains\n");
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
+    magellan_obs::log!(info, "Blocker ablation — recall vs reduction across domains\n");
     for (scenario, attr) in [
         ("persons", "name"),
         ("products", "title"),
@@ -31,8 +33,8 @@ fn main() {
             },
         )
         .expect("known scenario");
-        println!("== {scenario} (attr `{attr}`, moderate dirt, 500 gold) ==");
-        println!(
+        magellan_obs::log!(info, "== {scenario} (attr `{attr}`, moderate dirt, 500 gold) ==");
+        magellan_obs::log!(info, 
             "{:48} {:>10} {:>8} {:>10}",
             "blocker", "|C|", "recall", "reduction"
         );
@@ -77,7 +79,7 @@ fn main() {
                 .expect("blocker execution");
             let rep = evaluate_blocking(&c, &s.table_a, &s.table_b, "id", "id", &s.gold)
                 .expect("evaluation");
-            println!(
+            magellan_obs::log!(info, 
                 "{:48} {:>10} {:>8.3} {:>10.4}",
                 blocker.name(),
                 rep.n_candidates,
@@ -85,9 +87,9 @@ fn main() {
                 rep.reduction_ratio()
             );
         }
-        println!();
+        magellan_obs::log!(info, "");
     }
-    println!("shape: equality blocking collapses under dirt; token-overlap and");
-    println!("rule-based (low-threshold jaccard) blockers keep recall ≥ ~0.9 while");
-    println!("cutting the cross product by 2-4 orders of magnitude.");
+    magellan_obs::log!(info, "shape: equality blocking collapses under dirt; token-overlap and");
+    magellan_obs::log!(info, "rule-based (low-threshold jaccard) blockers keep recall ≥ ~0.9 while");
+    magellan_obs::log!(info, "cutting the cross product by 2-4 orders of magnitude.");
 }

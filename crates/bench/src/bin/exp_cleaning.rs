@@ -19,6 +19,8 @@ use magellan_datagen::{DirtModel, ScenarioConfig};
 use magellan_falcon::{run_falcon, FalconConfig};
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let s = vendors(
         &ScenarioConfig {
             size_a: 1200,
@@ -36,20 +38,20 @@ fn main() {
     let dirty_report = run_falcon(&s.table_a, &s.table_b, "id", "id", &mut labeler, &cfg)
         .expect("falcon on dirty vendors");
     let m_dirty = score(&dirty_report.matches, &s.table_a, &s.table_b, &s.gold);
-    println!("Vendors (dirty):      {m_dirty}");
+    magellan_obs::log!(info, "Vendors (dirty):      {m_dirty}");
 
     // --- The cleaning toolchain. ---
     let generic = detect_generic_values(&s.table_a, "address", 10, 0.01)
         .expect("generic-value detection");
-    println!("\ndetected generic placeholder addresses:");
+    magellan_obs::log!(info, "\ndetected generic placeholder addresses:");
     for g in &generic {
-        println!("  `{}` on {} rows ({:.1}% of table A)", g.value, g.count, 100.0 * g.fraction);
+        magellan_obs::log!(info, "  `{}` on {} rows ({:.1}% of table A)", g.value, g.count, 100.0 * g.fraction);
     }
     let (a_clean, a_dirty) =
         isolate_rows(&s.table_a, "address", &generic).expect("isolate A");
     let generic_b = detect_generic_values(&s.table_b, "address", 10, 0.01).unwrap();
     let (b_clean, b_dirty) = isolate_rows(&s.table_b, "address", &generic_b).unwrap();
-    println!(
+    magellan_obs::log!(info, 
         "isolated: A {} clean / {} dirty; B {} clean / {} dirty",
         a_clean.nrows(),
         a_dirty.nrows(),
@@ -86,12 +88,12 @@ fn main() {
         &gold_clean,
     )
     .expect("score");
-    println!("\nVendors (cleaned):    {m_clean}");
-    println!(
+    magellan_obs::log!(info, "\nVendors (cleaned):    {m_clean}");
+    magellan_obs::log!(info, 
         "\npaper shape: dirty F1 collapses; isolating the generic-address slice\n\
          recovers accuracy (Table 2's `Vendors` -> `Vendors (no Brazil)` rows)."
     );
-    println!(
+    magellan_obs::log!(info, 
         "F1: {:.1}% -> {:.1}%  ({} rows routed back to the domain experts)",
         100.0 * m_dirty.f1(),
         100.0 * m_clean.f1(),

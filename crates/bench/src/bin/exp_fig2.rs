@@ -16,6 +16,8 @@ use magellan_features::generate_features;
 use magellan_ml::{DecisionTreeLearner, Learner, RandomForestLearner};
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     // Scaled stand-in for the figure's two 1M-tuple tables.
     let s = persons(&ScenarioConfig {
         size_a: 8_000,
@@ -25,8 +27,8 @@ fn main() {
         seed: 42,
     });
     let (a, b) = (&s.table_a, &s.table_b);
-    println!("Fig. 2 walkthrough — development stage");
-    println!("input tables A: {} tuples, B: {} tuples", a.nrows(), b.nrows());
+    magellan_obs::log!(info, "Fig. 2 walkthrough — development stage");
+    magellan_obs::log!(info, "input tables A: {} tuples, B: {} tuples", a.nrows(), b.nrows());
 
     let features = generate_features(a, b, &["id"]).expect("features");
     let mut labeler = OracleLabeler::new(s.gold.clone(), "id", "id");
@@ -51,24 +53,24 @@ fn main() {
         run_development_stage(a, b, blockers, features, &learners, &mut labeler, &cfg)
             .expect("development stage");
 
-    println!("\nstep 1  down sample: A' , B' = 2000-tuple working tables");
-    println!("step 2  blocker experiments:");
+    magellan_obs::log!(info, "\nstep 1  down sample: A' , B' = 2000-tuple working tables");
+    magellan_obs::log!(info, "step 2  blocker experiments:");
     for c in &report.blocker_choices {
-        println!(
+        magellan_obs::log!(info, 
             "        {:45} |C| = {:7}, est. recall {:.2}",
             c.name, c.n_candidates, c.est_recall
         );
     }
-    println!("        selected blocker: {}", report.chosen_blocker);
-    println!("step 3  blocked: |C| = {}", report.n_candidates);
-    println!(
+    magellan_obs::log!(info, "        selected blocker: {}", report.chosen_blocker);
+    magellan_obs::log!(info, "step 3  blocked: |C| = {}", report.n_candidates);
+    magellan_obs::log!(info, 
         "step 4  sampled + labeled {} pairs ({:.0}% positive)",
         report.questions,
         100.0 * report.label_positive_rate
     );
-    println!("step 5  cross validation:");
+    magellan_obs::log!(info, "step 5  cross validation:");
     for cv in &report.cv_reports {
-        println!(
+        magellan_obs::log!(info, 
             "        matcher {:20} F1 = {:.2} (P {:.2} / R {:.2})",
             cv.learner,
             cv.mean_f1(),
@@ -76,18 +78,18 @@ fn main() {
             cv.mean_recall()
         );
     }
-    println!("        selected matcher: {}", report.chosen_matcher);
-    println!("step 6  quality check on holdout: {}", report.holdout);
+    magellan_obs::log!(info, "        selected matcher: {}", report.chosen_matcher);
+    magellan_obs::log!(info, "step 6  quality check on holdout: {}", report.holdout);
 
     // Production: run the captured workflow over the full tables.
     let exec = magellan_core::exec::ProductionExecutor::new(4);
     let prod = exec.run(&workflow, a, b).expect("production run");
     let m = score(&prod.matches, a, b, &s.gold);
-    println!(
+    magellan_obs::log!(info, 
         "\nproduction stage: {} candidates on full tables, {:?} machine time, {}",
         prod.n_candidates,
         prod.timings.total(),
         m
     );
-    println!("\npaper shape: winning matcher CV F1 in the ~0.9 range; end-to-end P/R high.");
+    magellan_obs::log!(info, "\npaper shape: winning matcher CV F1 in the ~0.9 range; end-to-end P/R high.");
 }

@@ -14,6 +14,8 @@ use magellan_falcon::workflow::blocking_features;
 use magellan_features::extract_feature_matrix;
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     // Book-like records: citations carry title/authors/venue/year, the
     // closest in-repo analog of the figure's ISBN/pages books.
     let s = citations(&ScenarioConfig {
@@ -53,17 +55,17 @@ fn main() {
         },
     );
 
-    println!("Fig. 4 analog — one committee tree and its extracted rules\n");
-    println!("(a) a decision tree learned by Falcon:");
+    magellan_obs::log!(info, "Fig. 4 analog — one committee tree and its extracted rules\n");
+    magellan_obs::log!(info, "(a) a decision tree learned by Falcon:");
     let tree = &outcome.forest.trees()[0];
     // Print with feature names substituted.
     let mut rendered = tree.pretty();
     for (i, name) in matrix.names.iter().enumerate() {
         rendered = rendered.replace(&format!("f{i} "), &format!("{name} "));
     }
-    println!("{rendered}");
+    magellan_obs::log!(info, "{rendered}");
 
-    println!("(b) blocking rules extracted from root -> No paths:");
+    magellan_obs::log!(info, "(b) blocking rules extracted from root -> No paths:");
     let (kept, executable) = extract_blocking_rules(
         &outcome.forest,
         &matrix,
@@ -73,14 +75,14 @@ fn main() {
         6,
     );
     for r in &kept {
-        println!(
+        magellan_obs::log!(info, 
             "  {}   [precision {:.2}, drops {:.0}% of labeled negatives]",
             r.pretty(&matrix.names),
             r.precision,
             100.0 * r.coverage
         );
     }
-    println!(
+    magellan_obs::log!(info, 
         "\n{} rules kept, {} executable as sim-join plans",
         kept.len(),
         executable.len()

@@ -14,6 +14,8 @@ use magellan_falcon::cloud::{Engine, LabelingMode, TaskSpec};
 use magellan_falcon::{CloudMatcher, FalconConfig};
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     // Five scientists upload five EM tasks at the same time.
     let submissions = [
         ("limnology lakes", "addresses", LabelingMode::SingleUser { error_rate: 0.0 }),
@@ -58,9 +60,9 @@ fn main() {
     let cloud = CloudMatcher::default();
     let (outcomes, schedule) = cloud.run_tasks(&specs).expect("cloudmatcher");
 
-    println!("Fig. 5 analog — concurrent self-service EM workflows\n");
+    magellan_obs::log!(info, "Fig. 5 analog — concurrent self-service EM workflows\n");
     for o in &outcomes {
-        println!(
+        magellan_obs::log!(info, 
             "  {:18} P {:5.1}%  R {:5.1}%  {:4} questions  label {:>7}  machine {:>6}",
             o.name,
             100.0 * o.precision,
@@ -70,12 +72,12 @@ fn main() {
             human_time(o.machine_time_s)
         );
     }
-    println!("\nmetamanager schedule:");
-    println!(
+    magellan_obs::log!(info, "\nmetamanager schedule:");
+    magellan_obs::log!(info, 
         "  one-workflow-at-a-time (CloudMatcher 0.1): {}",
         human_time(schedule.serial_total_s)
     );
-    println!(
+    magellan_obs::log!(info, 
         "  interleaved fragments  (CloudMatcher 1.0): {}  -> {:.1}x speedup",
         human_time(schedule.interleaved_makespan_s),
         schedule.speedup()
@@ -86,7 +88,7 @@ fn main() {
             Engine::Crowd => "crowd engine",
             Engine::Batch => "batch engine",
         };
-        println!("  {:24} busy {}", label, human_time(*busy));
+        magellan_obs::log!(info, "  {:24} busy {}", label, human_time(*busy));
     }
     assert!(schedule.speedup() > 1.5, "interleaving must beat serial");
 }

@@ -6,10 +6,12 @@ use magellan_core::registry::commands_per_step;
 use magellan_falcon::services::ecosystem_summary;
 
 fn main() {
-    println!("Fig. 6 analog — the envisioned Magellan ecosystem\n");
-    println!("{}", ecosystem_summary());
-    println!("== on-premise command surface (per guide step) ==");
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
+    magellan_obs::log!(info, "Fig. 6 analog — the envisioned Magellan ecosystem\n");
+    magellan_obs::log!(info, "{}", ecosystem_summary());
+    magellan_obs::log!(info, "== on-premise command surface (per guide step) ==");
     for (step, n) in commands_per_step() {
-        println!("  {:26} {n:3} commands", step.to_string());
+        magellan_obs::log!(info, "  {:26} {n:3} commands", step.to_string());
     }
 }

@@ -16,8 +16,10 @@ use magellan_falcon::smurf::run_smurf;
 use magellan_falcon::{run_falcon, FalconConfig};
 
 fn main() {
-    println!("Smurf ablation — labeling effort vs Falcon\n");
-    println!(
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
+    magellan_obs::log!(info, "Smurf ablation — labeling effort vs Falcon\n");
+    magellan_obs::log!(info, 
         "{:14} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
         "scenario", "falcon Q", "smurf Q", "falcon F1", "smurf F1", "Q reduction", "dF1"
     );
@@ -48,7 +50,7 @@ fn main() {
         let reduction = 1.0
             - smurf.total_questions() as f64 / falcon.total_questions().max(1) as f64;
         reductions.push(reduction);
-        println!(
+        magellan_obs::log!(info, 
             "{:14} {:>9} {:>9} {:>9.3} {:>9.3} {:>10.0}% {:>+9.3}",
             name,
             falcon.total_questions(),
@@ -61,14 +63,14 @@ fn main() {
     }
     let lo = reductions.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = reductions.iter().cloned().fold(0.0, f64::max);
-    println!(
+    magellan_obs::log!(info, 
         "\nlabeling reduction range: {:.0}%–{:.0}% (paper: 43%–76%)",
         100.0 * lo,
         100.0 * hi
     );
 
     // --- Active learning vs random sampling at equal budget ---
-    println!("\nActive learning vs random labeling (equal budget):");
+    magellan_obs::log!(info, "\nActive learning vs random labeling (equal budget):");
     let s = domains::by_name(
         "persons",
         &ScenarioConfig {
@@ -125,11 +127,11 @@ fn main() {
         .filter_map(|(&p, row)| forest.predict(row).then_some(p))
         .collect();
     let m_random = score(&predicted, &s.table_a, &s.table_b, &s.gold);
-    println!(
+    magellan_obs::log!(info, 
         "  active learning: F1 {:.3} with {budget} labels",
         m_active.f1()
     );
-    println!(
+    magellan_obs::log!(info, 
         "  random labeling: F1 {:.3} with {budget} labels",
         m_random.f1()
     );

@@ -30,6 +30,8 @@ struct Deployment {
 }
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let deployments = [
         Deployment {
             paper_row: "Walmart (products)",
@@ -75,8 +77,8 @@ fn main() {
         },
     ];
 
-    println!("Table 1 analog — PyMatcher vs incumbent production workflow");
-    println!(
+    magellan_obs::log!(info, "Table 1 analog — PyMatcher vs incumbent production workflow");
+    magellan_obs::log!(info, 
         "{:24} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>6} | production?",
         "deployment", "inc P%", "inc R%", "inc F1%", "py P%", "py R%", "py F1%", "quest"
     );
@@ -128,7 +130,7 @@ fn main() {
 
         // The paper's "pushed into production" criterion: clearly better.
         let production = if m_py.f1() > m_inc.f1() + 0.02 { "yes" } else { "no" };
-        println!(
+        magellan_obs::log!(info, 
             "{:24} {:8.1} {:8.1} {:8.1} | {:8.1} {:8.1} {:8.1} {:6} | {}",
             d.paper_row,
             100.0 * m_inc.precision(),
@@ -141,6 +143,6 @@ fn main() {
             production
         );
     }
-    println!("\npaper shape: PyMatcher beats the incumbent pipeline, chiefly on recall,");
-    println!("and goes to production in most deployments (6 of 8 in the paper).");
+    magellan_obs::log!(info, "\npaper shape: PyMatcher beats the incumbent pipeline, chiefly on recall,");
+    magellan_obs::log!(info, "and goes to production in most deployments (6 of 8 in the paper).");
 }

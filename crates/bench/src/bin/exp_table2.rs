@@ -32,6 +32,8 @@ struct Task {
 }
 
 fn main() {
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     // 13 rows mirroring the paper's task list.
     let tasks = [
         Task { name: "Products",            scenario: "products",          size_a: 2500, size_b: 2500, n_matches: 800,  dirt: DirtModel::light(),    labeling: LabelingMode::SingleUser { error_rate: 0.0 },  on_cloud: false },
@@ -52,8 +54,8 @@ fn main() {
     ];
 
     let cloud = CloudMatcher::default();
-    println!("Table 2 analog — CloudMatcher on 13 EM tasks");
-    println!(
+    magellan_obs::log!(info, "Table 2 analog — CloudMatcher on 13 EM tasks");
+    magellan_obs::log!(info, 
         "{:20} {:>7} {:>7} {:>6} {:>6} {:>6} {:>8} {:>9} {:>10} {:>9} {:>9}",
         "task", "|A|", "|B|", "P(%)", "R(%)", "quest", "crowd", "compute", "user/crowd", "machine", "total"
     );
@@ -91,7 +93,7 @@ fn main() {
 
     let (outcomes, schedule) = cloud.run_tasks(&specs).expect("cloudmatcher run");
     for o in &outcomes {
-        println!(
+        magellan_obs::log!(info, 
             "{:20} {:>7} {:>7} {:6.1} {:6.1} {:6} {:>8} {:>9} {:>10} {:>9} {:>9}",
             o.name,
             o.rows.0,
@@ -106,13 +108,13 @@ fn main() {
             human_time(o.total_time_s()),
         );
     }
-    println!(
+    magellan_obs::log!(info, 
         "\nmetamanager schedule: serial {} vs interleaved {} ({:.1}x, {} batch slots)",
         human_time(schedule.serial_total_s),
         human_time(schedule.interleaved_makespan_s),
         schedule.speedup(),
         schedule.batch_slots
     );
-    println!("\npaper shapes to check: clean tasks ≥ ~90% P/R; Vehicles/Addresses/Vendors");
-    println!("degraded; Vendors (no Brazil) recovered; crowd rows cost $ and hours.");
+    magellan_obs::log!(info, "\npaper shapes to check: clean tasks ≥ ~90% P/R; Vehicles/Addresses/Vendors");
+    magellan_obs::log!(info, "degraded; Vendors (no Brazil) recovered; crowd rows cost $ and hours.");
 }

@@ -8,8 +8,10 @@
 use magellan_core::registry::{commands, commands_per_step, CommandOrigin, GuideStep};
 
 fn main() {
-    println!("Table 3 analog — tools per guide step");
-    println!(
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
+    magellan_obs::log!(info, "Table 3 analog — tools per guide step");
+    magellan_obs::log!(info, 
         "{:26} {:>9} {:>9} {:>11} {:>9}",
         "guide step", "substrate", "own code", "pain points", "commands"
     );
@@ -20,7 +22,7 @@ fn main() {
                 .filter(|c| c.step == step && c.origin == origin)
                 .count()
         };
-        println!(
+        magellan_obs::log!(info, 
             "{:26} {:>9} {:>9} {:>11} {:>9}",
             step.to_string(),
             by(CommandOrigin::ExistingPackage),
@@ -29,12 +31,12 @@ fn main() {
             count
         );
     }
-    println!("\ntotal commands: {}", all.len());
-    println!("\npain-point tools (the paper's column D):");
+    magellan_obs::log!(info, "\ntotal commands: {}", all.len());
+    magellan_obs::log!(info, "\npain-point tools (the paper's column D):");
     for c in all.iter().filter(|c| c.origin == CommandOrigin::PainPointTool) {
-        println!("  [{:26}] {}", c.step.to_string(), c.name);
+        magellan_obs::log!(info, "  [{:26}] {}", c.step.to_string(), c.name);
     }
-    println!("\nmain packages (the paper lists 6 making up PyMatcher):");
+    magellan_obs::log!(info, "\nmain packages (the paper lists 6 making up PyMatcher):");
     for p in [
         "magellan-table",
         "magellan-textsim (py_stringmatching)",
@@ -44,7 +46,7 @@ fn main() {
         "magellan-features",
         "magellan-core (py_entitymatching)",
     ] {
-        println!("  {p}");
+        magellan_obs::log!(info, "  {p}");
     }
     let _ = GuideStep::all();
 }

@@ -4,9 +4,11 @@
 use magellan_falcon::services::{services, ServiceKind};
 
 fn main() {
-    println!("Table 4 analog — CloudMatcher services");
+    // Experiment narration is leveled logging: MAGELLAN_LOG=off silences it.
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
+    magellan_obs::log!(info, "Table 4 analog — CloudMatcher services");
     for kind in [ServiceKind::Basic, ServiceKind::Composite] {
-        println!(
+        magellan_obs::log!(info, 
             "\n== {} services ==",
             match kind {
                 ServiceKind::Basic => "basic",
@@ -14,14 +16,14 @@ fn main() {
             }
         );
         for s in services().into_iter().filter(|s| s.kind == kind) {
-            println!("  {:26} [{:?}] {}", s.name, s.engine, s.description);
-            println!("  {:26}  impl: {}", "", s.implemented_by);
+            magellan_obs::log!(info, "  {:26} [{:?}] {}", s.name, s.engine, s.description);
+            magellan_obs::log!(info, "  {:26}  impl: {}", "", s.implemented_by);
             if !s.composes.is_empty() {
-                println!("  {:26}  composes: {}", "", s.composes.join(", "));
+                magellan_obs::log!(info, "  {:26}  composes: {}", "", s.composes.join(", "));
             }
         }
     }
     let n_basic = services().iter().filter(|s| s.kind == ServiceKind::Basic).count();
     let n_comp = services().iter().filter(|s| s.kind == ServiceKind::Composite).count();
-    println!("\n{n_basic} basic + {n_comp} composite services (paper: 18 basic + composites incl. Falcon)");
+    magellan_obs::log!(info, "\n{n_basic} basic + {n_comp} composite services (paper: 18 basic + composites incl. Falcon)");
 }

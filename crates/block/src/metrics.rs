@@ -112,4 +112,19 @@ mod tests {
         assert_eq!(rep.recall(), 1.0);
         assert_eq!(rep.reduction_ratio(), 1.0);
     }
+
+    /// Zero denominators (empty tables, empty gold) never yield NaN/∞.
+    #[test]
+    fn zero_denominator_ratios_are_finite() {
+        let rep = BlockingReport {
+            n_candidates: 0,
+            gold_kept: 0,
+            gold_total: 0,
+            cross_product: 0,
+        };
+        assert_eq!(rep.recall(), 1.0); // vacuous recall
+        assert_eq!(rep.reduction_ratio(), 0.0); // nothing to reduce
+        assert!(rep.recall().is_finite());
+        assert!(rep.reduction_ratio().is_finite());
+    }
 }

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 use magellan_block::CandidateSet;
 use magellan_faults::{run_with_retry, FaultPlan, RetryPolicy, SimClock};
 use magellan_features::extract_feature_matrix_par;
+use magellan_obs::{EvVal, ObsSnapshot};
 use magellan_par::{ParConfig, ParStats};
 use magellan_table::Table;
 
@@ -159,6 +160,34 @@ impl RecoveryTelemetry {
         self.chunks_recovered += s.chunks_recovered;
         self.worker_deaths += s.worker_deaths;
     }
+
+    /// Publish the recovery counters into the ambient [`magellan_obs`]
+    /// recorder. Worker deaths are scheduling-dependent, so they are only
+    /// published on wall-clock recorders (same policy as
+    /// [`ParStats::publish`]) — pinned snapshots stay byte-identical
+    /// across worker counts.
+    fn publish(&self) {
+        magellan_obs::counter_add(
+            "magellan_core_phase_retries_total",
+            u64::from(self.phase_retries),
+        );
+        magellan_obs::counter_add(
+            "magellan_core_store_retries_total",
+            u64::from(self.store_retries),
+        );
+        magellan_obs::counter_add(
+            "magellan_core_checkpoints_written_total",
+            u64::from(self.checkpoints_written),
+        );
+        magellan_obs::gauge_set("magellan_core_sim_backoff_seconds", self.sim_backoff_s);
+        let wall = magellan_obs::current().map(|o| !o.is_pinned()).unwrap_or(false);
+        if wall && self.worker_deaths > 0 {
+            magellan_obs::counter_add(
+                "magellan_core_worker_deaths_total",
+                self.worker_deaths as u64,
+            );
+        }
+    }
 }
 
 /// Result of a production run.
@@ -178,6 +207,13 @@ pub struct ProductionReport {
     /// [`ProductionExecutor::run`], populated by
     /// [`ProductionExecutor::run_with_recovery`]).
     pub recovery: RecoveryTelemetry,
+    /// The run's observability snapshot: `run → phase → chunk → retry`
+    /// spans, the `magellan_*` metrics registry, and the discrete event
+    /// log, exportable as Prometheus text or Chrome-trace JSON. Under a
+    /// pinned-clock recorder and a fixed chunk size, both exports are
+    /// byte-identical across worker counts
+    /// (`crates/core/tests/obs_determinism.rs`).
+    pub obs: ObsSnapshot,
 }
 
 /// Knobs for [`ProductionExecutor::run_with_recovery`].
@@ -208,6 +244,12 @@ impl Default for RecoveryOptions {
 pub struct ProductionExecutor {
     /// Worker threads for every phase (≥ 1).
     pub n_workers: usize,
+    /// Fixed items-per-chunk for every parallel region. `None` keeps the
+    /// pool's adaptive default (`len / (8 · n_workers)`), which *varies
+    /// with the worker count* — pin this when you need chunk spans and
+    /// chunk counters to be identical across worker counts (the
+    /// byte-identical-export contract).
+    pub chunk_size: Option<usize>,
 }
 
 impl ProductionExecutor {
@@ -215,7 +257,50 @@ impl ProductionExecutor {
     pub fn new(n_workers: usize) -> Self {
         ProductionExecutor {
             n_workers: n_workers.max(1),
+            chunk_size: None,
         }
+    }
+
+    /// Pin the chunk size of every parallel region (see
+    /// [`ProductionExecutor::chunk_size`]).
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_size = Some(chunk.max(1));
+        self
+    }
+
+    /// The pool configuration every phase starts from.
+    fn par_cfg(&self) -> ParConfig {
+        let mut cfg = ParConfig::workers(self.n_workers);
+        if let Some(c) = self.chunk_size {
+            cfg = cfg.with_chunk_size(c);
+        }
+        cfg
+    }
+
+    /// Use the ambient recorder if one is installed; otherwise install a
+    /// private wall-clock recorder for the duration of the run so the
+    /// report always carries a populated snapshot.
+    fn obs_handle(&self) -> (magellan_obs::Obs, Option<magellan_obs::InstallGuard>) {
+        match magellan_obs::current() {
+            Some(obs) => (obs, None),
+            None => {
+                let obs = magellan_obs::Obs::wall();
+                let guard = obs.install();
+                (obs, Some(guard))
+            }
+        }
+    }
+
+    /// Snapshot the recorder into the report and honor `MAGELLAN_TRACE`
+    /// (export the Chrome trace to the requested path, best effort).
+    fn finish_obs(obs: &magellan_obs::Obs) -> ObsSnapshot {
+        let snap = obs.snapshot();
+        if let Some(path) = magellan_obs::trace_export_path() {
+            if let Err(e) = snap.write_chrome_trace(&path) {
+                magellan_obs::log!(warn, "MAGELLAN_TRACE export to {path} failed: {e}");
+            }
+        }
+        snap
     }
 
     /// Run the workflow over full tables.
@@ -231,19 +316,36 @@ impl ProductionExecutor {
         a: &Table,
         b: &Table,
     ) -> magellan_table::Result<ProductionReport> {
-        let cfg = ParConfig::workers(self.n_workers);
+        let cfg = self.par_cfg();
+        let (obs, _own_guard) = self.obs_handle();
+        let run_span = magellan_obs::span("run", 0);
 
         let t0 = Instant::now();
-        let (candidates, blocking_stats) = workflow.blocker.block_par(a, b, &cfg)?;
+        let (candidates, blocking_stats) = {
+            let _phase = magellan_obs::span("blocking", 0);
+            let out = workflow.blocker.block_par(a, b, &cfg)?;
+            out.1.publish("blocking");
+            out
+        };
         let blocking = t0.elapsed();
 
         let t1 = Instant::now();
         let pairs = candidates.pairs();
-        let (matrix, extract_stats) =
-            extract_feature_matrix_par(pairs, a, b, &workflow.features, &cfg)?;
-        let (predicted, predict_stats) = magellan_par::map_indexed(matrix.len(), &cfg, |i| {
-            workflow.matcher.predict_proba(&matrix.rows[i]) >= workflow.threshold
-        });
+        let _phase = magellan_obs::span("matching", 0);
+        let (matrix, extract_stats) = {
+            let _region = magellan_obs::span("extract", 0);
+            let out = extract_feature_matrix_par(pairs, a, b, &workflow.features, &cfg)?;
+            out.1.publish("extract");
+            out
+        };
+        let (predicted, predict_stats) = {
+            let _region = magellan_obs::span("predict", 0);
+            let out = magellan_par::map_indexed(matrix.len(), &cfg, |i| {
+                workflow.matcher.predict_proba(&matrix.rows[i]) >= workflow.threshold
+            });
+            out.1.publish("predict");
+            out
+        };
         // The rule layer is a cheap per-row pass over the already-extracted
         // matrix; it stays serial so its decisions are trivially ordered.
         let decisions: Vec<(u32, u32)> = workflow
@@ -254,9 +356,24 @@ impl ProductionExecutor {
             .filter_map(|(d, p)| d.then_some(p))
             .collect();
         let matching = t1.elapsed();
+        drop(_phase);
 
         let mut matching_stats = extract_stats;
         matching_stats.merge(&predict_stats);
+
+        magellan_obs::counter_add("magellan_core_candidates_total", pairs.len() as u64);
+        magellan_obs::counter_add("magellan_core_matches_total", decisions.len() as u64);
+        if !obs.is_pinned() {
+            obs.hist_record(
+                "magellan_core_phase_us{phase=\"blocking\"}",
+                blocking.as_micros() as u64,
+            );
+            obs.hist_record(
+                "magellan_core_phase_us{phase=\"matching\"}",
+                matching.as_micros() as u64,
+            );
+        }
+        drop(run_span);
 
         Ok(ProductionReport {
             matches: CandidateSet::new(decisions),
@@ -268,6 +385,7 @@ impl ProductionExecutor {
             },
             n_workers: self.n_workers,
             recovery: RecoveryTelemetry::default(),
+            obs: Self::finish_obs(&obs),
         })
     }
 
@@ -290,12 +408,18 @@ impl ProductionExecutor {
     ) -> Result<ProductionReport, MagellanError> {
         let mut clock = SimClock::new();
         let mut tel = RecoveryTelemetry::default();
+        let (obs, _own_guard) = self.obs_handle();
+        let run_span = magellan_obs::span("run", 0);
 
         // Pick up where a previous invocation left off, if anywhere.
         let resume = match retry_store(&opts.retry, &mut clock, &mut tel, || store.load())? {
             Some(text) => {
                 let ck = Checkpoint::from_text(&text)?;
                 tel.resumed_from = Some(ck.phase());
+                magellan_obs::event(
+                    "resumed",
+                    &[("phase", EvVal::S(ck.phase().name()))],
+                );
                 Some(ck)
             }
             None => None,
@@ -310,6 +434,8 @@ impl ProductionExecutor {
             // and counters are wall-clock artifacts of the dead process
             // and come back empty — only the *results* are durable.
             tel.sim_backoff_s = clock.now_s();
+            tel.publish();
+            drop(run_span);
             return Ok(ProductionReport {
                 matches: CandidateSet::new(matches),
                 n_candidates,
@@ -317,6 +443,7 @@ impl ProductionExecutor {
                 counters: PhaseCounters::default(),
                 n_workers: self.n_workers,
                 recovery: tel,
+                obs: Self::finish_obs(&obs),
             });
         }
 
@@ -328,13 +455,16 @@ impl ProductionExecutor {
                 Duration::ZERO,
             ),
             _ => {
-                let cfg = ParConfig::workers(self.n_workers)
+                let _phase = magellan_obs::span("blocking", 0);
+                let cfg = self
+                    .par_cfg()
                     .with_faults(opts.faults.chunk_faults(REGION_BLOCKING));
                 let t0 = Instant::now();
                 let (c, stats) =
                     retry_phase(&opts.retry, &mut clock, &mut tel, Phase::Blocking, || {
                         workflow.blocker.block_par(a, b, &cfg).map_err(Into::into)
                     })?;
+                stats.publish("blocking");
                 tel.absorb_stats(&stats);
                 let elapsed = t0.elapsed();
                 retry_store(&opts.retry, &mut clock, &mut tel, || {
@@ -346,6 +476,10 @@ impl ProductionExecutor {
                     )
                 })?;
                 tel.checkpoints_written += 1;
+                magellan_obs::event(
+                    "checkpoint_written",
+                    &[("phase", EvVal::S("blocking"))],
+                );
                 if opts.kill_after == Some(Phase::Blocking) {
                     return Err(MagellanError::Killed {
                         after_phase: "blocking",
@@ -356,21 +490,33 @@ impl ProductionExecutor {
         };
 
         // --- matching phase ---------------------------------------------
-        let extract_cfg = ParConfig::workers(self.n_workers)
+        let matching_span = magellan_obs::span("matching", 0);
+        let extract_cfg = self
+            .par_cfg()
             .with_faults(opts.faults.chunk_faults(REGION_EXTRACT));
-        let predict_cfg = ParConfig::workers(self.n_workers)
+        let predict_cfg = self
+            .par_cfg()
             .with_faults(opts.faults.chunk_faults(REGION_PREDICT));
         let t1 = Instant::now();
         let pairs = candidates.pairs();
         let (decisions, matching_stats) =
             retry_phase(&opts.retry, &mut clock, &mut tel, Phase::Matching, || {
-                let (matrix, extract_stats) =
-                    extract_feature_matrix_par(pairs, a, b, &workflow.features, &extract_cfg)
-                        .map_err(MagellanError::from)?;
-                let (predicted, predict_stats) =
-                    magellan_par::map_indexed(matrix.len(), &predict_cfg, |i| {
+                let (matrix, extract_stats) = {
+                    let _region = magellan_obs::span("extract", 0);
+                    let out =
+                        extract_feature_matrix_par(pairs, a, b, &workflow.features, &extract_cfg)
+                            .map_err(MagellanError::from)?;
+                    out.1.publish("extract");
+                    out
+                };
+                let (predicted, predict_stats) = {
+                    let _region = magellan_obs::span("predict", 0);
+                    let out = magellan_par::map_indexed(matrix.len(), &predict_cfg, |i| {
                         workflow.matcher.predict_proba(&matrix.rows[i]) >= workflow.threshold
                     });
+                    out.1.publish("predict");
+                    out
+                };
                 let decisions: Vec<(u32, u32)> = workflow
                     .rule_layer
                     .apply(&matrix, &predicted)
@@ -384,6 +530,7 @@ impl ProductionExecutor {
             })?;
         tel.absorb_stats(&matching_stats);
         let matching = t1.elapsed();
+        drop(matching_span);
 
         retry_store(&opts.retry, &mut clock, &mut tel, || {
             store.save(
@@ -395,6 +542,10 @@ impl ProductionExecutor {
             )
         })?;
         tel.checkpoints_written += 1;
+        magellan_obs::event(
+            "checkpoint_written",
+            &[("phase", EvVal::S("matching"))],
+        );
         if opts.kill_after == Some(Phase::Matching) {
             return Err(MagellanError::Killed {
                 after_phase: "matching",
@@ -403,6 +554,10 @@ impl ProductionExecutor {
 
         tel.sim_backoff_s = clock.now_s();
         let n_candidates = pairs.len();
+        magellan_obs::counter_add("magellan_core_candidates_total", n_candidates as u64);
+        magellan_obs::counter_add("magellan_core_matches_total", decisions.len() as u64);
+        tel.publish();
+        drop(run_span);
         Ok(ProductionReport {
             matches: CandidateSet::new(decisions),
             n_candidates,
@@ -413,6 +568,7 @@ impl ProductionExecutor {
             },
             n_workers: self.n_workers,
             recovery: tel,
+            obs: Self::finish_obs(&obs),
         })
     }
 }
@@ -502,6 +658,28 @@ mod tests {
                 )],
             )]),
             threshold: 0.5,
+        }
+    }
+
+    /// Every ratio accessor on an all-zero (never-ran) counter block
+    /// reports 0.0 — never NaN or ∞.
+    #[test]
+    fn zero_denominator_counters_are_finite() {
+        let c = PhaseCounters::default();
+        assert_eq!(c.pairs_per_sec(), 0.0);
+        assert_eq!(c.cache_hit_rate(), 0.0);
+        assert_eq!(c.join_position_kill_rate(), 0.0);
+        assert_eq!(c.chunks_stolen(), 0);
+        for v in [
+            c.pairs_per_sec(),
+            c.cache_hit_rate(),
+            c.join_position_kill_rate(),
+            c.blocking.throughput(),
+            c.blocking.utilization(),
+            c.matching.throughput(),
+            c.matching.utilization(),
+        ] {
+            assert!(v.is_finite(), "ratio accessor produced {v}");
         }
     }
 

@@ -22,6 +22,7 @@ use magellan_core::evaluate::evaluate_matches;
 use magellan_core::labeling::{Label, Labeler, OracleLabeler};
 use magellan_faults::{FaultPlan, RetryPolicy};
 use magellan_ml::Metrics;
+use magellan_obs::EvVal;
 use magellan_table::Table;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -190,6 +191,7 @@ impl Labeler for CrowdLabeler {
             if self.plan.crowd_no_show(qid, vote_id) {
                 self.no_shows += 1;
                 vote_id += 1;
+                magellan_obs::counter_add("magellan_falcon_crowd_no_shows_total", 1);
                 continue;
             }
             let vote = if self.rng.gen_bool(self.worker_error_rate) {
@@ -208,6 +210,8 @@ impl Labeler for CrowdLabeler {
             // The crowd abandoned this question: degrade to the
             // submitting user, whose answer is authoritative (and free).
             self.degraded += 1;
+            magellan_obs::counter_add("magellan_falcon_crowd_degraded_total", 1);
+            magellan_obs::event("crowd_question_degraded", &[("question", EvVal::U(qid))]);
             return truth;
         }
         if yes * 2 > self.votes {
@@ -275,6 +279,39 @@ pub struct ScheduleTelemetry {
     pub backoff_s: f64,
 }
 
+impl ScheduleTelemetry {
+    /// Publish the metamanager's recovery counters into the ambient
+    /// [`magellan_obs`] recorder as `magellan_falcon_*` metrics. No-op
+    /// for a fault-free (all-zero) schedule so clean runs export no
+    /// falcon noise.
+    pub fn publish(&self) {
+        if *self == ScheduleTelemetry::default() {
+            return;
+        }
+        magellan_obs::counter_add(
+            "magellan_falcon_fragment_retries_total",
+            u64::from(self.fragment_retries),
+        );
+        magellan_obs::counter_add(
+            "magellan_falcon_fragments_timed_out_total",
+            u64::from(self.fragments_timed_out),
+        );
+        magellan_obs::counter_add(
+            "magellan_falcon_fragments_rerouted_total",
+            u64::from(self.fragments_rerouted),
+        );
+        magellan_obs::counter_add(
+            "magellan_falcon_speculative_launched_total",
+            u64::from(self.speculative_launched),
+        );
+        magellan_obs::counter_add(
+            "magellan_falcon_speculative_wins_total",
+            u64::from(self.speculative_wins),
+        );
+        magellan_obs::gauge_set("magellan_falcon_backoff_seconds", self.backoff_s);
+    }
+}
+
 /// The metamanager's schedule summary.
 #[derive(Debug, Clone)]
 pub struct ScheduleReport {
@@ -335,6 +372,16 @@ impl CloudMatcher {
         &self,
         spec: &TaskSpec<'_>,
     ) -> magellan_table::Result<(TaskOutcome, Vec<Fragment>)> {
+        // Key the task span by a stable hash of the task name so traces
+        // of multi-task submissions keep one span per task.
+        let _task_span = magellan_obs::span(
+            "falcon_task",
+            spec.name
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+                }),
+        );
         let cm = self.cost_model;
         let oracle = OracleLabeler::new(spec.gold.clone(), &spec.a_key, &spec.b_key);
 
@@ -465,8 +512,34 @@ impl CloudMatcher {
     }
 }
 
+/// Simulated seconds → trace nanoseconds (saturating, NaN/∞-safe).
+fn sim_ns(s: f64) -> u64 {
+    if s.is_finite() && s > 0.0 {
+        (s * 1e9).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Static span name for a fragment's engine.
+fn engine_span_name(e: Engine) -> &'static str {
+    match e {
+        Engine::UserInteraction => "frag_user",
+        Engine::Crowd => "frag_crowd",
+        Engine::Batch => "frag_batch",
+    }
+}
+
 /// Event-driven interleaving of task chains across engines.
+///
+/// When a [`magellan_obs`] recorder is installed, the simulated timeline
+/// is mirrored into it: a `schedule` span with one
+/// `frag_user`/`frag_crowd`/`frag_batch` child per placed fragment,
+/// recorded at its simulated start/finish via
+/// [`magellan_obs::record_span_at`] (key = `chain << 32 | index`), plus
+/// `magellan_falcon_schedule_*` gauges on the report totals.
 pub fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleReport {
+    let sched_span = magellan_obs::span("schedule", 0);
     let batch_slots = batch_slots.max(1);
     let mut slot_free = vec![0.0f64; batch_slots];
     // (next fragment index, ready time) per chain.
@@ -515,9 +588,20 @@ pub fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> Sched
             slot_free[slot] = finish;
         }
         *busy.entry(frag.engine).or_insert(0.0) += frag.duration_s;
+        magellan_obs::record_span_at(
+            None,
+            engine_span_name(frag.engine),
+            (c as u64) << 32 | i as u64,
+            sim_ns(start),
+            sim_ns(finish),
+        );
         next[c] = (i + 1, finish);
         makespan = makespan.max(finish);
     }
+
+    magellan_obs::gauge_set("magellan_falcon_schedule_serial_seconds", serial_total);
+    magellan_obs::gauge_set("magellan_falcon_schedule_makespan_seconds", makespan);
+    drop(sched_span);
 
     let mut busy: Vec<(Engine, f64)> = busy.into_iter().collect();
     busy.sort_by_key(|(e, _)| format!("{e:?}"));
@@ -594,6 +678,14 @@ fn resolve_fragment(
         tel.fragments_rerouted += 1;
         engine = Engine::UserInteraction;
         nominal *= opts.degrade_factor;
+        magellan_obs::event(
+            "fragment_degraded",
+            &[
+                ("task", EvVal::U(task)),
+                ("fragment", EvVal::U(fid)),
+                ("to", EvVal::S("user")),
+            ],
+        );
     }
 
     let spec_threshold = opts.speculate_threshold.max(1.0);
@@ -608,6 +700,14 @@ fn resolve_fragment(
             tel.backoff_s += backoff;
             total += nominal * 0.5 + backoff;
             attempt += 1;
+            magellan_obs::event(
+                "fragment_retry_scheduled",
+                &[
+                    ("task", EvVal::U(task)),
+                    ("fragment", EvVal::U(fid)),
+                    ("attempt", EvVal::U(u64::from(attempt))),
+                ],
+            );
             continue;
         }
         // This attempt completes. Attempt 0 of a batch fragment may land
@@ -625,6 +725,14 @@ fn resolve_fragment(
             tel.backoff_s += backoff;
             total += opts.fragment_timeout_s + backoff;
             attempt += 1;
+            magellan_obs::event(
+                "fragment_timed_out",
+                &[
+                    ("task", EvVal::U(task)),
+                    ("fragment", EvVal::U(fid)),
+                    ("budget_s", EvVal::F(opts.fragment_timeout_s)),
+                ],
+            );
             continue;
         }
         if dur > nominal * spec_threshold {
@@ -636,6 +744,14 @@ fn resolve_fragment(
             if backup_finish < dur {
                 tel.speculative_wins += 1;
             }
+            magellan_obs::event(
+                "straggler_speculated",
+                &[
+                    ("task", EvVal::U(task)),
+                    ("fragment", EvVal::U(fid)),
+                    ("backup_won", EvVal::U(u64::from(backup_finish < dur))),
+                ],
+            );
             // The backup occupies a second batch slot from its launch
             // until the fragment resolves.
             extra_batch_busy += effective - nominal;
@@ -684,6 +800,7 @@ pub fn schedule_fragments_with_recovery(
             None => rep.busy.push((Engine::Batch, extra_batch_busy)),
         }
     }
+    tel.publish();
     rep.telemetry = tel;
     rep
 }
@@ -822,7 +939,10 @@ mod tests {
         let rep = schedule_fragments(&[], 2);
         assert_eq!(rep.serial_total_s, 0.0);
         assert_eq!(rep.interleaved_makespan_s, 0.0);
+        // Zero-denominator convention: an empty schedule speeds nothing
+        // up, so the ratio is the neutral 1.0 — finite, never NaN/∞.
         assert_eq!(rep.speedup(), 1.0);
+        assert!(rep.speedup().is_finite());
         assert_eq!(rep.telemetry, ScheduleTelemetry::default());
     }
 

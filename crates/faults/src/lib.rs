@@ -451,9 +451,24 @@ pub fn run_with_retry<T, E: Transience>(
             Ok(v) => return Ok(v),
             Err(e) => {
                 if e.fatal() || !policy.allows(attempt + 1) {
+                    magellan_obs::event(
+                        "retries_exhausted",
+                        &[
+                            ("attempt", magellan_obs::EvVal::U(u64::from(attempt))),
+                            ("fatal", magellan_obs::EvVal::U(u64::from(e.fatal()))),
+                        ],
+                    );
                     return Err(e);
                 }
-                clock.advance_s(policy.delay_s(attempt + 1));
+                let delay = policy.delay_s(attempt + 1);
+                clock.advance_s(delay);
+                magellan_obs::event(
+                    "retry_scheduled",
+                    &[("attempt", magellan_obs::EvVal::U(u64::from(attempt + 1)))],
+                );
+                // Mirror the simulated sleep onto a pinned obs clock and
+                // log the `backoff_slept` event on the shared timeline.
+                magellan_obs::on_backoff(delay);
                 attempt += 1;
             }
         }

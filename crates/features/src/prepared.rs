@@ -452,6 +452,10 @@ pub fn extract_with_prepared(
         let (ra, rb) = pairs[p];
         shared.compute_row(&plan, ra as usize, rb as usize)
     });
+    // Publish this call's cache delta as `magellan_features_cache_*`
+    // registry metrics (no-op when observability is disabled); the struct
+    // keeps riding along in `ParStats` for reports.
+    cache.publish();
     stats.cache = cache;
     Ok((
         FeatureMatrix {

@@ -171,6 +171,18 @@ mod tests {
         d
     }
 
+    /// A fold-less report (degenerate CV) averages to 0.0, never NaN.
+    #[test]
+    fn empty_report_means_are_zero() {
+        let rep = CvReport {
+            learner: "none".into(),
+            folds: Vec::new(),
+        };
+        assert_eq!(rep.mean_f1(), 0.0);
+        assert_eq!(rep.mean_precision(), 0.0);
+        assert_eq!(rep.mean_recall(), 0.0);
+    }
+
     #[test]
     fn stratified_folds_preserve_class_balance() {
         let labels: Vec<bool> = (0..100).map(|i| i % 10 == 0).collect(); // 10% positive

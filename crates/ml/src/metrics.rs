@@ -160,6 +160,20 @@ mod tests {
         assert_eq!(m.f1(), 0.0);
     }
 
+    /// Every ratio accessor is finite (never NaN/∞) on an all-zero
+    /// confusion matrix.
+    #[test]
+    fn zero_denominator_ratios_are_finite() {
+        let m = Metrics::default();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.precision(), 1.0); // vacuous-precision convention
+        assert_eq!(m.recall(), 1.0); // vacuous-recall convention
+        assert_eq!(m.accuracy(), 1.0); // vacuous-accuracy convention
+        for v in [m.precision(), m.recall(), m.f1(), m.accuracy()] {
+            assert!(v.is_finite(), "ratio accessor produced {v}");
+        }
+    }
+
     #[test]
     fn pair_set_metrics() {
         let predicted: HashSet<(u32, u32)> = [(1, 1), (2, 2), (3, 9)].into_iter().collect();

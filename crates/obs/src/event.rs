@@ -1,0 +1,27 @@
+//! Discrete event records: things that *happen* rather than *take time*
+//! (fault injected, retry scheduled, backoff slept, checkpoint written,
+//! fragment degraded, straggler speculated, worker died/recovered).
+
+/// A small, allocation-light event field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvVal {
+    /// Unsigned integer payload (chunk index, attempt, …).
+    U(u64),
+    /// Floating payload (seconds of backoff, ratios, …).
+    F(f64),
+    /// Static string payload (phase name, fault kind, …).
+    S(&'static str),
+}
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRec {
+    /// Time on the recorder's clock (ns).
+    pub t_ns: u64,
+    /// Static event name (e.g. `"fault_injected"`, `"backoff_slept"`).
+    pub name: &'static str,
+    /// Innermost open span at record time (`0` = none).
+    pub span: u64,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, EvVal)>,
+}

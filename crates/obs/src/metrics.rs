@@ -1,0 +1,145 @@
+//! The metric value types behind the registry: counters, gauges, and
+//! log₂-bucketed histograms with a deterministic, associative merge.
+
+/// Number of histogram buckets: bucket `0` holds zeros, bucket `k ≥ 1`
+/// holds values in `[2^(k-1), 2^k)` — 64 power-of-two buckets plus the
+/// zero bucket cover the whole `u64` range exactly.
+pub const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` samples.
+///
+/// `merge` is elementwise and therefore **associative and commutative**:
+/// per-worker histograms can be merged in any grouping or order and
+/// produce bit-identical totals — the property `crates/obs` proptests
+/// pin down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of recorded samples.
+    pub sum: u64,
+    /// Bucket counts; see [`N_BUCKETS`] for the layout.
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a sample: `0` for `v == 0`, else
+    /// `floor(log2(v)) + 1`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `k` (the Prometheus `le` label):
+    /// `0`, `1`, `3`, `7`, …, `u64::MAX`.
+    pub fn bucket_le(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        let b = &mut self.buckets[Self::bucket_index(v)];
+        *b = b.saturating_add(1);
+    }
+
+    /// Elementwise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Mean of recorded samples; `0.0` when empty (never `NaN`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One named metric in the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone saturating counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log₂-bucketed histogram.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// Deterministic merge used when combining registries: counters add,
+    /// gauges keep the maximum (order-independent), histograms merge
+    /// elementwise. Mismatched kinds keep `self`.
+    pub fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.max(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            _ => debug_assert!(false, "merging mismatched metric kinds"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64_exactly() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_le(0), 0);
+        assert_eq!(Histogram::bucket_le(1), 1);
+        assert_eq!(Histogram::bucket_le(2), 3);
+        assert_eq!(Histogram::bucket_le(64), u64::MAX);
+        // le(k) is the largest value mapping to bucket k.
+        for k in 0..N_BUCKETS {
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_le(k)), k);
+        }
+    }
+
+    #[test]
+    fn mean_is_zero_on_empty() {
+        assert_eq!(Histogram::default().mean(), 0.0);
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(8);
+        assert_eq!(h.mean(), 6.0);
+    }
+}

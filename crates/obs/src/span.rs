@@ -1,0 +1,97 @@
+//! Span records and the RAII span guard.
+//!
+//! A span is a named, keyed interval on the recorder's clock. Its id is a
+//! pure function of the span *path* — `span_id(parent, name, key)` — so
+//! the same logical scope gets the same id in every run regardless of
+//! which worker thread executes it. Open spans live on the installed
+//! context's thread-local stack; completed spans are pushed into the
+//! thread's bounded buffer and merged canonically at snapshot time.
+
+use crate::{span_id, with_ctx, with_ctx_of};
+
+/// One completed span interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Deterministic id: `span_id(parent, name, key)`.
+    pub id: u64,
+    /// Parent span id (`0` = root).
+    pub parent: u64,
+    /// Static scope name (e.g. `"phase"`, `"chunk"`, `"retry"`).
+    pub name: &'static str,
+    /// Disambiguating key within the parent (chunk index, attempt, …).
+    pub key: u64,
+    /// Start time on the recorder's clock (ns).
+    pub start_ns: u64,
+    /// End time on the recorder's clock (ns, `>= start_ns`).
+    pub end_ns: u64,
+    /// Buffer lane (thread-registration order); scheduling-dependent, so
+    /// it never participates in canonical ordering or pinned exports.
+    pub lane: u32,
+}
+
+struct Open {
+    obs_id: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    key: u64,
+    start_ns: u64,
+}
+
+/// RAII guard for an open span: records the completed [`SpanRec`] when
+/// dropped. Inert (no allocation, no recording) when no recorder was
+/// installed at open time.
+#[must_use = "the span is recorded when the guard drops"]
+pub struct SpanGuard {
+    open: Option<Open>,
+}
+
+impl SpanGuard {
+    /// The open span's deterministic id, or `None` when disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
+}
+
+pub(crate) fn open(name: &'static str, key: u64) -> SpanGuard {
+    let open = with_ctx(|ctx| {
+        let parent = ctx.stack.last().copied().unwrap_or(0);
+        let id = span_id(parent, name, key);
+        ctx.stack.push(id);
+        Open {
+            obs_id: ctx.obs.inner.id,
+            id,
+            parent,
+            name,
+            key,
+            start_ns: ctx.now_ns(),
+        }
+    });
+    SpanGuard { open }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(o) = self.open.take() {
+            with_ctx_of(o.obs_id, |ctx| {
+                // Pop this span — and defensively anything opened above it
+                // that leaked without dropping (guards normally unwind in
+                // LIFO order, including during panics).
+                if let Some(pos) = ctx.stack.iter().rposition(|&id| id == o.id) {
+                    ctx.stack.truncate(pos);
+                }
+                let end_ns = ctx.now_ns().max(o.start_ns);
+                let rec = SpanRec {
+                    id: o.id,
+                    parent: o.parent,
+                    name: o.name,
+                    key: o.key,
+                    start_ns: o.start_ns,
+                    end_ns,
+                    lane: ctx.buf.lane,
+                };
+                ctx.buf.push_span(rec, ctx.obs.inner.span_capacity);
+            });
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the observability layer (ISSUE 5 satellite):
+//!
+//! * histogram record/merge — merge is associative and commutative,
+//!   bucket counts are exact, and a snapshot's exports are bit-identical
+//!   no matter how samples are sharded across "workers";
+//! * span nesting under injected panics — `catch_unwind` leaves no
+//!   dangling spans on the thread-local stack.
+
+use magellan_obs::{span, span_id, EvVal, Histogram, Obs};
+use proptest::prelude::*;
+
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..16,
+        1u64..1_000_000,
+        proptest::prelude::any::<u64>(),
+    ]
+}
+
+fn record_all(vs: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in vs {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn histogram_bucket_counts_are_exact(vs in proptest::collection::vec(sample(), 0..200)) {
+        let h = record_all(&vs);
+        prop_assert_eq!(h.count, vs.len() as u64);
+        let mut sum = 0u64;
+        for &v in &vs {
+            sum = sum.saturating_add(v);
+        }
+        prop_assert_eq!(h.sum, sum);
+        // Every sample lands in exactly the bucket its log2 says, and the
+        // bucket's le bound brackets it.
+        for k in 0..magellan_obs::N_BUCKETS {
+            let expect = vs.iter().filter(|&&v| Histogram::bucket_index(v) == k).count() as u64;
+            prop_assert_eq!(h.buckets[k], expect);
+            if h.buckets[k] > 0 {
+                let le = Histogram::bucket_le(k);
+                prop_assert!(vs.iter().any(|&v| v <= le && Histogram::bucket_index(v) == k));
+            }
+        }
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(sample(), 0..100),
+        b in proptest::collection::vec(sample(), 0..100),
+        c in proptest::collection::vec(sample(), 0..100),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // Commutative: a⊕b == b⊕a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associative: (a⊕b)⊕c == a⊕(b⊕c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merge of shards == recording the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &record_all(&all));
+    }
+
+    #[test]
+    fn snapshot_is_bit_identical_across_worker_counts(
+        vs in proptest::collection::vec(sample(), 1..200),
+        n_workers in 1usize..8,
+    ) {
+        // One recorder records everything serially; the other has the same
+        // samples recorded from `n_workers` threads in racy order. The
+        // registry (and its Prometheus text) must come out byte-identical.
+        let serial = Obs::pinned();
+        {
+            let _g = serial.install();
+            for &v in &vs {
+                magellan_obs::hist_record("magellan_obs_prop_hist", v);
+                magellan_obs::counter_add("magellan_obs_prop_total", v % 17);
+            }
+        }
+        let sharded = Obs::pinned();
+        std::thread::scope(|s| {
+            for w in 0..n_workers {
+                let sharded = &sharded;
+                let vs = &vs;
+                s.spawn(move || {
+                    let _g = sharded.install();
+                    for (i, &v) in vs.iter().enumerate() {
+                        if i % n_workers == w {
+                            magellan_obs::hist_record("magellan_obs_prop_hist", v);
+                            magellan_obs::counter_add("magellan_obs_prop_total", v % 17);
+                        }
+                    }
+                });
+            }
+        });
+        let a = serial.snapshot();
+        let b = sharded.snapshot();
+        prop_assert_eq!(a.metrics.clone(), b.metrics.clone());
+        prop_assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    #[test]
+    fn catch_unwind_leaves_no_dangling_spans(
+        depth in 1usize..6,
+        panic_at in 0usize..6,
+        post in 1u64..4,
+    ) {
+        let panic_at = panic_at % depth;
+        let obs = Obs::pinned();
+        let _g = obs.install();
+        let root = span("run", 0);
+        let root_id = root.id().unwrap();
+
+        // Open `depth` nested spans; panic somewhere in the middle.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fn go(d: usize, depth: usize, panic_at: usize) {
+                if d == depth {
+                    return;
+                }
+                let _s = span("nest", d as u64);
+                magellan_obs::event("tick", &[("d", EvVal::U(d as u64))]);
+                if d == panic_at {
+                    panic!("injected");
+                }
+                go(d + 1, depth, panic_at);
+            }
+            go(0, depth, panic_at);
+        }));
+        prop_assert!(result.is_err());
+
+        // The unwind dropped every nested guard: the innermost open span
+        // is the root again, and new spans parent under it.
+        prop_assert_eq!(magellan_obs::current_span(), Some(root_id));
+        for k in 0..post {
+            let s = span("after", k);
+            prop_assert_eq!(s.id(), Some(span_id(root_id, "after", k)));
+        }
+        drop(root);
+        prop_assert_eq!(magellan_obs::current_span(), None);
+
+        let snap = obs.snapshot();
+        // Every opened span was recorded exactly once (panicked ones too).
+        prop_assert_eq!(snap.spans_named("run").len(), 1);
+        prop_assert_eq!(snap.spans_named("nest").len(), panic_at + 1);
+        prop_assert_eq!(snap.spans_named("after").len(), post as usize);
+        // And nesting survived: run -> nest(0) -> ... -> nest(panic_at).
+        prop_assert_eq!(snap.max_depth() as usize, 1 + (panic_at + 1).max(1));
+    }
+}

@@ -66,6 +66,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
+use magellan_obs::EvVal;
+
 pub use magellan_faults::ChunkFaults;
 
 /// The payload of a fault-plan-injected chunk panic. Public so panic
@@ -226,6 +228,39 @@ impl CacheStats {
         }
     }
 
+    /// Publish these cache counters into the ambient `magellan-obs`
+    /// registry under `magellan_features_cache_*` names (the struct lives
+    /// here because `ParStats` carries it; the metrics belong to the
+    /// feature-cache subsystem). All fields are scheduling-independent,
+    /// so everything is published in both clock modes. No-op when the
+    /// counters are all zero or no recorder is installed.
+    pub fn publish(&self) {
+        if *self == CacheStats::default() {
+            return;
+        }
+        let Some(obs) = magellan_obs::current() else {
+            return;
+        };
+        obs.counter_add(
+            "magellan_features_cache_records_prepared_total",
+            self.records_prepared as u64,
+        );
+        obs.counter_add(
+            "magellan_features_cache_tokenize_calls_total",
+            self.tokenize_calls as u64,
+        );
+        obs.counter_add(
+            "magellan_features_cache_tokenize_calls_saved_total",
+            self.tokenize_calls_saved as u64,
+        );
+        obs.counter_add("magellan_features_cache_lookups_total", self.lookups as u64);
+        obs.counter_add("magellan_features_cache_hits_total", self.hits as u64);
+        obs.gauge_set(
+            "magellan_features_interner_tokens",
+            self.interner_tokens as f64,
+        );
+    }
+
     /// Fold another region's cache counters into this one. Counters sum;
     /// `interner_tokens` is a high-water mark (regions share one
     /// interner, so the max is the final vocabulary size).
@@ -277,6 +312,35 @@ pub struct JoinStats {
 }
 
 impl JoinStats {
+    /// Publish these pruning-cascade counters into the ambient
+    /// `magellan-obs` registry under `magellan_simjoin_*` names. All
+    /// fields are pure functions of the join inputs (the cascade is
+    /// deterministic), so everything is published in both clock modes.
+    /// No-op when the counters are all zero or no recorder is installed.
+    pub fn publish(&self) {
+        if *self == JoinStats::default() {
+            return;
+        }
+        let Some(obs) = magellan_obs::current() else {
+            return;
+        };
+        obs.counter_add("magellan_simjoin_probes_total", self.probes as u64);
+        obs.counter_add("magellan_simjoin_candidates_total", self.candidates as u64);
+        obs.counter_add("magellan_simjoin_killed_by_size_total", self.killed_by_size as u64);
+        obs.counter_add(
+            "magellan_simjoin_killed_by_position_total",
+            self.killed_by_position as u64,
+        );
+        obs.counter_add(
+            "magellan_simjoin_killed_by_suffix_total",
+            self.killed_by_suffix as u64,
+        );
+        obs.counter_add("magellan_simjoin_verified_total", self.verified as u64);
+        obs.counter_add("magellan_simjoin_verify_steps_total", self.verify_steps as u64);
+        obs.counter_add("magellan_simjoin_pairs_total", self.pairs as u64);
+        obs.counter_add("magellan_simjoin_probe_swaps_total", self.probe_swaps as u64);
+    }
+
     /// Fold another region's join counters into this one (all sums).
     pub fn merge(&mut self, other: &JoinStats) {
         self.probes += other.probes;
@@ -342,6 +406,32 @@ impl ParStats {
             (self.busy_total().as_secs_f64() / denom).min(1.0)
         } else {
             0.0
+        }
+    }
+
+    /// Publish this region's executor counters into the ambient
+    /// `magellan-obs` registry under `magellan_par_*{phase="…"}` names.
+    /// No-op when no recorder is installed. On a **pinned** (deterministic)
+    /// recorder only scheduling-*independent* counters are published —
+    /// steals, deaths, worker counts, and wall-clock depend on how the OS
+    /// interleaved workers and would break the byte-identical-export
+    /// contract. The struct itself keeps carrying everything, so reports
+    /// and tests lose nothing.
+    pub fn publish(&self, phase: &str) {
+        let Some(obs) = magellan_obs::current() else {
+            return;
+        };
+        let l = |name: &str| format!("magellan_par_{name}{{phase=\"{phase}\"}}");
+        obs.counter_add(&l("items_total"), self.items as u64);
+        obs.counter_add(&l("chunks_total"), self.chunks_total as u64);
+        obs.counter_add(&l("panics_contained_total"), self.panics_contained as u64);
+        obs.counter_add(&l("chunks_recovered_total"), self.chunks_recovered as u64);
+        if !obs.is_pinned() {
+            obs.counter_add(&l("chunks_stolen_total"), self.chunks_stolen as u64);
+            obs.counter_add(&l("worker_deaths_total"), self.worker_deaths as u64);
+            obs.gauge_set(&l("workers"), self.n_workers as f64);
+            obs.gauge_set(&l("utilization"), self.utilization());
+            obs.hist_record(&l("elapsed_us"), self.elapsed.as_micros() as u64);
         }
     }
 
@@ -414,6 +504,13 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
+    // Capture the ambient recorder (and the caller's current span) once,
+    // so worker threads can re-install it and parent their chunk spans
+    // under the calling scope. `None` = observability disabled; the whole
+    // region then costs exactly one thread-local read.
+    let obs_parent: Option<(magellan_obs::Obs, Option<u64>)> =
+        magellan_obs::current().map(|o| (o, magellan_obs::current_span()));
+
     // One fault-contained attempt at a chunk. Injection fires *before* the
     // chunk function runs, so a retried chunk recomputes `f` from scratch
     // and the recovered output is bit-identical.
@@ -427,6 +524,12 @@ where
     };
 
     let worker = |w: usize| -> WorkerLog {
+        // Re-install the caller's recorder on this worker thread so chunk
+        // spans parent under the caller's span (deterministic ids: the
+        // span path never mentions the worker).
+        let _obs_guard = obs_parent
+            .as_ref()
+            .map(|(obs, parent)| obs.install_under(*parent));
         let mut log = WorkerLog::default();
         loop {
             let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -438,35 +541,69 @@ where
             }
             let lo = c * chunk;
             let hi = (lo + chunk).min(len);
+            let chunk_span = magellan_obs::span("chunk", c as u64);
             let t = Instant::now();
             let mut attempt = 0u32;
             let completed = loop {
+                // Attempts after the first get their own nested span, so
+                // the trace shows chunk → retry scopes.
+                let retry_span = (attempt > 0)
+                    .then(|| magellan_obs::span("retry", u64::from(attempt)));
                 match run_attempt(c, attempt, lo..hi) {
                     Ok(out) => {
+                        drop(retry_span);
                         if attempt > 0 {
                             log.recovered += 1;
+                            magellan_obs::event(
+                                "chunk_recovered",
+                                &[
+                                    ("chunk", EvVal::U(c as u64)),
+                                    ("attempts", EvVal::U(u64::from(attempt) + 1)),
+                                ],
+                            );
                         }
                         if let Ok(mut slot) = slots[c].lock() {
                             *slot = Some(out);
                         }
                         break true;
                     }
-                    Err(_payload) => {
+                    Err(payload) => {
+                        drop(retry_span);
                         log.contained += 1;
+                        let injected = payload.downcast_ref::<InjectedFault>().is_some();
+                        magellan_obs::event(
+                            if injected { "fault_injected" } else { "panic_contained" },
+                            &[
+                                ("chunk", EvVal::U(c as u64)),
+                                ("attempt", EvVal::U(u64::from(attempt))),
+                            ],
+                        );
                         if attempt >= cfg.chunk_retries {
                             break false;
                         }
                         attempt += 1;
+                        magellan_obs::event(
+                            "retry_scheduled",
+                            &[
+                                ("chunk", EvVal::U(c as u64)),
+                                ("attempt", EvVal::U(u64::from(attempt))),
+                            ],
+                        );
                     }
                 }
             };
             log.busy += t.elapsed();
+            drop(chunk_span);
             if !completed {
                 // The worker dies: it abandons the claim loop, modelling a
                 // crashed thread. Its unfinished chunk (and anything still
                 // unclaimed if every worker dies) is picked up by the
                 // serial fallback below.
                 log.died = true;
+                magellan_obs::event(
+                    "worker_died",
+                    &[("worker", EvVal::U(w as u64)), ("chunk", EvVal::U(c as u64))],
+                );
                 break;
             }
         }
@@ -532,17 +669,40 @@ where
             let hi = (lo + chunk).min(len);
             let first_fallback = cfg.chunk_retries + 1;
             let mut attempt = first_fallback;
+            // A distinct span name keeps fallback re-runs from colliding
+            // with the worker-side `chunk` span of the same index.
+            let _fb_span = magellan_obs::span("chunk_fallback", c as u64);
             loop {
+                let retry_span = (attempt > first_fallback)
+                    .then(|| magellan_obs::span("retry", u64::from(attempt)));
                 match run_attempt(c, attempt, lo..hi) {
                     Ok(out) => {
+                        drop(retry_span);
                         stats.chunks_recovered += 1;
+                        magellan_obs::event(
+                            "chunk_recovered",
+                            &[
+                                ("chunk", EvVal::U(c as u64)),
+                                ("fallback", EvVal::U(1)),
+                            ],
+                        );
                         if let Ok(mut slot) = slots[c].lock() {
                             *slot = Some(out);
                         }
                         break;
                     }
                     Err(payload) => {
+                        drop(retry_span);
                         stats.panics_contained += 1;
+                        let injected = payload.downcast_ref::<InjectedFault>().is_some();
+                        magellan_obs::event(
+                            if injected { "fault_injected" } else { "panic_contained" },
+                            &[
+                                ("chunk", EvVal::U(c as u64)),
+                                ("attempt", EvVal::U(u64::from(attempt))),
+                                ("fallback", EvVal::U(1)),
+                            ],
+                        );
                         if attempt >= first_fallback + FALLBACK_RETRIES.max(cfg.chunk_retries) {
                             // Persistent panic: a real bug, not a fault.
                             resume_unwind(payload);

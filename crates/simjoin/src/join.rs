@@ -293,6 +293,10 @@ pub fn join_tokenized_stats(
     out.sort_unstable_by_key(|a| (a.l, a.r));
     stats.pairs = out.len();
     stats.probe_swaps = plan.swap as usize;
+    // Re-express the cascade counters as `magellan_simjoin_*` registry
+    // metrics (no-op when observability is disabled); the struct remains
+    // the report-facing view.
+    stats.publish();
     (out, stats)
 }
 
@@ -483,6 +487,12 @@ pub fn join_tokenized_par_side(
     out.sort_unstable_by_key(|a| (a.l, a.r));
     js.pairs = out.len();
     js.probe_swaps = plan.swap as usize;
+    // Same counters, two surfaces: the merged struct rides along in
+    // `ParStats` for reports, and the registry gets the canonical
+    // `magellan_simjoin_*` series (deterministic: every field is a pure
+    // function of the join inputs, so 1-worker and 8-worker runs publish
+    // identical values).
+    js.publish();
     stats.join = js;
     (out, stats)
 }
