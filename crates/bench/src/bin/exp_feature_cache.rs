@@ -19,6 +19,8 @@ use magellan_features::{
     generate_features, PreparedPair,
 };
 use magellan_par::ParConfig;
+use magellan_textsim::kernels::set_mode;
+use magellan_textsim::KernelMode;
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
@@ -138,7 +140,30 @@ fn main() {
         )
         .unwrap();
     }
+    // Kernel-tier delta at 1 worker: pin the scalar reference kernels
+    // under the interned id-measure path, time it, restore adaptive
+    // dispatch. Outputs are bit-identical either way.
+    let serial = ParConfig::workers(1);
+    set_mode(KernelMode::ScalarReference);
+    let t_kscalar = median_secs(reps, || {
+        std::hint::black_box(
+            extract_feature_matrix_par(&pairs, a, b, &features, &serial).unwrap(),
+        );
+    });
+    set_mode(KernelMode::Adaptive);
+    let t_kadaptive = median_secs(reps, || {
+        std::hint::black_box(
+            extract_feature_matrix_par(&pairs, a, b, &features, &serial).unwrap(),
+        );
+    });
+    let kernel_speedup = t_kscalar / t_kadaptive;
+
     writeln!(txt).unwrap();
+    writeln!(
+        txt,
+        "kernel tier (w=1): scalar-kernel {t_kscalar:.3}s vs adaptive {t_kadaptive:.3}s -> {kernel_speedup:.2}x"
+    )
+    .unwrap();
     writeln!(
         txt,
         "speedup at 1 worker: {speedup_w1:.2}x (acceptance floor: 3x cached vs scalar)"
@@ -147,7 +172,7 @@ fn main() {
     print!("{txt}");
 
     let json = format!(
-        "{{\n  \"experiment\": \"feature_extraction\",\n  \"workload\": {{\"rows_a\": {}, \"rows_b\": {}, \"n_features\": {}, \"n_pairs\": {n_pairs}, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"cache\": {{\"records_prepared\": {}, \"tokenize_calls\": {}, \"tokenize_calls_saved\": {}, \"interner_tokens\": {}}},\n  \"results\": [\n{json_rows}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"feature_extraction\",\n  \"workload\": {{\"rows_a\": {}, \"rows_b\": {}, \"n_features\": {}, \"n_pairs\": {n_pairs}, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"cache\": {{\"records_prepared\": {}, \"tokenize_calls\": {}, \"tokenize_calls_saved\": {}, \"interner_tokens\": {}}},\n  \"kernel_speedup_w1\": {kernel_speedup:.2},\n  \"results\": [\n{json_rows}\n  ]\n}}\n",
         a.nrows(),
         b.nrows(),
         features.len(),

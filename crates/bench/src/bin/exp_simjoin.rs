@@ -18,6 +18,8 @@ use magellan_simjoin::{
     SetSimMeasure, TokenizedCollection,
 };
 use magellan_textsim::tokenize::WhitespaceTokenizer;
+use magellan_textsim::kernels::set_mode;
+use magellan_textsim::KernelMode;
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
@@ -126,11 +128,37 @@ fn main() {
             100.0 * stats.suffix_kill_rate(),
         )
         .unwrap();
+        writeln!(
+            txt,
+            "kernel split: merge={} gallop={}",
+            stats.kernel_merge, stats.kernel_gallop
+        )
+        .unwrap();
 
         let t_hash = median_secs(reps, || {
             std::hint::black_box(join_tokenized_hashmap(&coll, measure));
         });
         let ps_hash = n_pairs as f64 / t_hash;
+
+        // Kernel-tier delta at 1 worker: pin the scalar reference kernels,
+        // time the same CSR join, restore adaptive dispatch. Outputs are
+        // bit-identical either way — this isolates the kernel speedup.
+        let serial = ParConfig::workers(1);
+        set_mode(KernelMode::ScalarReference);
+        let t_csr_scalar = median_secs(reps, || {
+            std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
+        });
+        set_mode(KernelMode::Adaptive);
+        let t_csr_adaptive = median_secs(reps, || {
+            std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
+        });
+        let kernel_speedup = t_csr_scalar / t_csr_adaptive;
+        writeln!(
+            txt,
+            "kernel tier (w=1): scalar-kernel {:.3}s vs adaptive {:.3}s -> {kernel_speedup:.2}x",
+            t_csr_scalar, t_csr_adaptive
+        )
+        .unwrap();
         writeln!(txt, "{:>3}  {:>15}  {:>15}  {:>8}", "w", "hashmap p/s", "csr p/s", "speedup")
             .unwrap();
 
@@ -170,7 +198,7 @@ fn main() {
         }
         write!(
             json_grids,
-            "    {{\"grid\": \"{}\", \"skew\": {}, \"threshold\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
+            "    {{\"grid\": \"{}\", \"skew\": {}, \"threshold\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2}, \"kernel_speedup_w1\": {kernel_speedup:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"kernel_merge\": {}, \"kernel_gallop\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
             grid.name,
             grid.skew,
             grid.threshold,
@@ -181,6 +209,8 @@ fn main() {
             stats.killed_by_suffix,
             stats.verified,
             stats.verify_steps,
+            stats.kernel_merge,
+            stats.kernel_gallop,
             stats.position_kill_rate(),
             stats.suffix_kill_rate(),
         )

@@ -100,8 +100,15 @@ impl RandomForestClassifier {
     /// Parallel batch scoring: `out[i] == self.predict_proba(&rows[i])`
     /// bit-identically for any worker count (rows are chunked over the
     /// `magellan-par` pool and merged in order).
+    ///
+    /// Internally this flattens the forest into the SoA inference layout
+    /// ([`crate::forest_flat::FlatForest`]) and scores through its
+    /// branchless batch traversal; the flatten is a pure re-layout, so
+    /// scores stay bit-identical to the scalar tree walk (the preserved
+    /// [`predict_proba_batch`] free function — the reference the
+    /// invariance suite compares against).
     pub fn predict_proba_batch(&self, rows: &[Vec<f64>], cfg: &ParConfig) -> Vec<f64> {
-        predict_proba_batch(self, rows, cfg)
+        crate::forest_flat::FlatForest::from_forest(self).predict_proba_batch(rows, cfg)
     }
 
     /// Binary vote entropy in bits — the query-by-committee uncertainty

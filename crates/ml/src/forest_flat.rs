@@ -1,0 +1,308 @@
+//! Flattened structure-of-arrays random-forest inference.
+//!
+//! [`crate::tree`] stores trained trees as arenas of [`Node`] enums —
+//! the right representation for *walking structure* (Falcon extracts
+//! blocking rules from root→leaf paths), but a poor one for *batch
+//! scoring*: every step matches on a 40-byte enum, chases two unrelated
+//! child indices, and branches on the comparison outcome.
+//!
+//! [`FlatForest`] re-lays a trained [`RandomForestClassifier`] into
+//! three contiguous parallel arrays — `(feat, thresh, left)` — shared
+//! by every tree in the forest:
+//!
+//! * `feat[i]` — feature index tested at node `i`, or [`LEAF`] for a
+//!   leaf;
+//! * `thresh[i]` — the split threshold, or (for a leaf) the node's
+//!   **precomputed Laplace-smoothed probability** `(n_pos+1)/(n+2)` —
+//!   the exact expression [`DecisionTreeClassifier::predict_proba`]
+//!   evaluates, so scores match bit-for-bit;
+//! * `left[i]` — flat index of the left child; the right child is
+//!   **always `left[i] + 1`** thanks to a breadth-first re-layout that
+//!   allocates sibling slots together.
+//!
+//! The traversal step is then branchless:
+//!
+//! ```text
+//! i = left[i] + (row[feat[i]] > thresh[i]) as usize
+//! ```
+//!
+//! `NaN > t` is `false`, so missing values route **left**, exactly like
+//! the tree walk's `x.is_nan() || x <= threshold`. (The two predicates
+//! agree on every input: for non-NaN `x`, `!(x > t) ⇔ x <= t`.)
+//!
+//! ## Bit-identity contract
+//!
+//! `FlatForest` is a *view*, not a model: for every row and every worker
+//! count, [`FlatForest::predict_proba`] and
+//! [`FlatForest::predict_proba_batch`] return exactly what the source
+//! forest's scalar walk returns — same leaf, same Laplace expression,
+//! same tree-order summation. The invariance suite
+//! (`crates/ml/tests/forest_flat_invariance.rs`) enforces this against
+//! the preserved [`crate::forest::predict_proba_batch`] reference,
+//! including through a [`crate::persist`] round-trip.
+
+use magellan_par::ParConfig;
+
+use crate::forest::RandomForestClassifier;
+use crate::tree::{DecisionTreeClassifier, Node};
+
+/// Sentinel in `feat` marking a leaf slot.
+pub const LEAF: u32 = u32::MAX;
+
+/// A random forest flattened for batch inference: one contiguous
+/// `(feat, thresh, left)` node pool shared by all trees, breadth-first
+/// per tree so siblings are adjacent (`right == left + 1`).
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    /// Tested feature per node; [`LEAF`] for leaves.
+    feat: Vec<u32>,
+    /// Split threshold per node; Laplace-smoothed probability for leaves.
+    thresh: Vec<f64>,
+    /// Flat index of the left child (right = left + 1); 0 for leaves.
+    left: Vec<u32>,
+    /// Root slot of each tree, in forest order.
+    roots: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Flatten a trained forest. Pure re-layout: no value is recomputed
+    /// except the per-leaf Laplace probability, evaluated with the same
+    /// expression the tree walk uses.
+    pub fn from_forest(forest: &RandomForestClassifier) -> FlatForest {
+        let total: usize = forest.trees().iter().map(|t| t.nodes().len()).sum();
+        let mut flat = FlatForest {
+            feat: Vec::with_capacity(total),
+            thresh: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            roots: Vec::with_capacity(forest.trees().len()),
+        };
+        for tree in forest.trees() {
+            flat.push_tree(tree);
+        }
+        flat
+    }
+
+    /// BFS re-layout of one tree into the shared pool. Sibling slots are
+    /// allocated together, which is what makes `right == left + 1` a
+    /// structural invariant rather than a convention.
+    fn push_tree(&mut self, tree: &DecisionTreeClassifier) {
+        let nodes = tree.nodes();
+        let root = self.alloc();
+        self.roots.push(root as u32);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((0usize, root));
+        while let Some((arena, slot)) = queue.pop_front() {
+            match &nodes[arena] {
+                Node::Leaf { n, n_pos } => {
+                    self.feat[slot] = LEAF;
+                    self.thresh[slot] = (*n_pos as f64 + 1.0) / (*n as f64 + 2.0);
+                    self.left[slot] = 0;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    assert!((*feature as u64) < LEAF as u64, "feature index collides with sentinel");
+                    let l = self.alloc();
+                    let r = self.alloc();
+                    debug_assert_eq!(r, l + 1);
+                    self.feat[slot] = *feature as u32;
+                    self.thresh[slot] = *threshold;
+                    self.left[slot] = l as u32;
+                    queue.push_back((*left, l));
+                    queue.push_back((*right, r));
+                }
+            }
+        }
+    }
+
+    fn alloc(&mut self) -> usize {
+        self.feat.push(LEAF);
+        self.thresh.push(0.0);
+        self.left.push(0);
+        self.feat.len() - 1
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feat.len()
+    }
+
+    /// Walk one tree to its leaf; returns the leaf's flat slot.
+    #[inline]
+    fn leaf_slot(&self, root: u32, row: &[f64]) -> usize {
+        let mut i = root as usize;
+        loop {
+            let f = self.feat[i];
+            if f == LEAF {
+                return i;
+            }
+            // Branchless child select; NaN compares false → left, matching
+            // the tree walk's `x.is_nan() || x <= threshold`.
+            i = self.left[i] as usize + usize::from(row[f as usize] > self.thresh[i]);
+        }
+    }
+
+    /// Mean of per-tree Laplace-smoothed leaf probabilities — the same
+    /// tree-order sum and final divide as the scalar forest walk.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self
+            .roots
+            .iter()
+            .map(|&root| self.thresh[self.leaf_slot(root, row)])
+            .sum();
+        sum / self.roots.len() as f64
+    }
+
+    /// Hard prediction at the 0.5 operating point (majority vote: the
+    /// per-tree probability clears 0.5 iff the leaf's hard vote is
+    /// "match", so this matches the forest's `predict`).
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.vote_fraction(row) >= 0.5
+    }
+
+    /// Fraction of trees voting "match" (Falcon's α test), flat edition.
+    pub fn vote_fraction(&self, row: &[f64]) -> f64 {
+        let votes = self
+            .roots
+            .iter()
+            .filter(|&&root| self.thresh[self.leaf_slot(root, row)] >= 0.5)
+            .count();
+        votes as f64 / self.roots.len() as f64
+    }
+
+    /// Batch scoring over the `magellan-par` pool:
+    /// `out[i] == self.predict_proba(&rows[i])` bit-identically for any
+    /// worker count. Within a chunk the loop runs **tree-outer,
+    /// row-inner**, keeping one tree's nodes hot across the whole chunk;
+    /// per-row sums still accumulate in tree order, so the arithmetic is
+    /// exactly the scalar walk's.
+    pub fn predict_proba_batch(&self, rows: &[Vec<f64>], cfg: &ParConfig) -> Vec<f64> {
+        let (chunks, _stats) = magellan_par::chunk_map(rows.len(), cfg, |range| {
+            let chunk = &rows[range];
+            let mut acc = vec![0.0f64; chunk.len()];
+            for &root in &self.roots {
+                for (out, row) in acc.iter_mut().zip(chunk) {
+                    *out += self.thresh[self.leaf_slot(root, row)];
+                }
+            }
+            let n = self.roots.len() as f64;
+            for out in &mut acc {
+                *out /= n;
+            }
+            acc
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::RandomForestLearner;
+    use crate::model::Classifier;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::with_dims(3);
+        for _ in 0..n {
+            let pos: bool = rng.gen_bool(0.5);
+            let c = if pos { 1.0 } else { -1.0 };
+            let row = [
+                c + rng.gen_range(-0.9..0.9),
+                c + rng.gen_range(-0.9..0.9),
+                rng.gen_range(-1.0..1.0),
+            ];
+            d.push(&row, pos);
+        }
+        d
+    }
+
+    #[test]
+    fn layout_has_adjacent_siblings_and_same_node_count() {
+        let d = blob_data(11, 120);
+        let forest = RandomForestLearner {
+            n_trees: 5,
+            ..Default::default()
+        }
+        .fit_forest(&d);
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.n_trees(), 5);
+        let arena_total: usize = forest.trees().iter().map(|t| t.nodes().len()).sum();
+        assert_eq!(flat.n_nodes(), arena_total);
+        // Structural invariant: every split's children are adjacent and
+        // strictly after it (BFS order).
+        for i in 0..flat.n_nodes() {
+            if flat.feat[i] != LEAF {
+                assert!((flat.left[i] as usize) > i);
+                assert!((flat.left[i] as usize + 1) < flat.n_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_scores_match_tree_walk_bitwise() {
+        let d = blob_data(12, 150);
+        let forest = RandomForestLearner {
+            n_trees: 9,
+            ..Default::default()
+        }
+        .fit_forest(&d);
+        let flat = FlatForest::from_forest(&forest);
+        for i in 0..d.len() {
+            let row = d.row(i);
+            assert_eq!(
+                flat.predict_proba(row).to_bits(),
+                forest.predict_proba(row).to_bits()
+            );
+            assert_eq!(
+                flat.vote_fraction(row).to_bits(),
+                forest.vote_fraction(row).to_bits()
+            );
+            assert_eq!(flat.predict(row), forest.predict(row));
+        }
+    }
+
+    #[test]
+    fn nan_routes_left_like_the_tree_walk() {
+        let d = Dataset::from_rows(
+            &[vec![0.1], vec![0.2], vec![0.8], vec![0.9]],
+            &[false, false, true, true],
+        );
+        let forest = RandomForestLearner {
+            n_trees: 3,
+            bootstrap: false,
+            ..Default::default()
+        }
+        .fit_forest(&d);
+        let flat = FlatForest::from_forest(&forest);
+        for row in [[f64::NAN], [0.15], [0.85]] {
+            assert_eq!(
+                flat.predict_proba(&row).to_bits(),
+                forest.predict_proba(&row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_flattens() {
+        let d = Dataset::from_rows(&[vec![1.0], vec![2.0]], &[true, true]);
+        let forest = RandomForestLearner {
+            n_trees: 2,
+            ..Default::default()
+        }
+        .fit_forest(&d);
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.predict_proba(&[5.0]), 0.75);
+    }
+}

@@ -31,6 +31,7 @@
 pub mod cv;
 pub mod dataset;
 pub mod forest;
+pub mod forest_flat;
 pub mod knn;
 pub mod linear;
 pub mod metrics;
@@ -42,6 +43,7 @@ pub mod tree;
 pub use cv::{cross_validate, train_test_split, CvReport};
 pub use dataset::Dataset;
 pub use forest::{predict_proba_batch, RandomForestClassifier, RandomForestLearner};
+pub use forest_flat::FlatForest;
 pub use linear::{LinearSvmLearner, LogisticRegressionLearner};
 pub use metrics::Metrics;
 pub use model::{Classifier, Learner};

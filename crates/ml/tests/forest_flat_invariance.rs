@@ -1,0 +1,160 @@
+//! Flattened-forest invariance suite (DESIGN.md §7.2): the SoA
+//! inference layout ([`FlatForest`]) must be *observationally
+//! invisible* — bit-identical scores vs. the preserved scalar tree walk
+//! per pair, at every worker count, and through a persistence
+//! round-trip — while the leaf probabilities keep the PR 1 Laplace
+//! smoothing exactly.
+
+use magellan_ml::dataset::Dataset;
+use magellan_ml::forest::{predict_proba_batch as scalar_batch, RandomForestLearner};
+use magellan_ml::model::Classifier;
+use magellan_ml::tree::Node;
+use magellan_ml::{persist, FlatForest, RandomForestClassifier};
+use magellan_par::ParConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Messy EM-flavored feature rows: a mix of separable structure, noise
+/// dimensions, and NaNs (missing similarities).
+fn rows(seed: u64, n: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|_| {
+                    if rng.gen_bool(0.08) {
+                        f64::NAN
+                    } else {
+                        rng.gen_range(-1.5..1.5)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn training_data(seed: u64, n: usize, dims: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::with_dims(dims);
+    for _ in 0..n {
+        let pos: bool = rng.gen_bool(0.5);
+        let c = if pos { 0.7 } else { -0.7 };
+        let row: Vec<f64> = (0..dims)
+            .map(|j| {
+                if rng.gen_bool(0.05) {
+                    f64::NAN
+                } else if j < 2 {
+                    c + rng.gen_range(-1.0..1.0)
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                }
+            })
+            .collect();
+        d.push(&row, pos);
+    }
+    d
+}
+
+fn forest(seed: u64) -> RandomForestClassifier {
+    RandomForestLearner {
+        n_trees: 11,
+        seed,
+        ..Default::default()
+    }
+    .fit_forest(&training_data(seed, 240, 5))
+}
+
+/// Per-pair bit-identity: flat scoring vs. the scalar walk on every row,
+/// including NaN-bearing ones.
+#[test]
+fn flat_matches_scalar_per_pair() {
+    for seed in [1u64, 2, 3] {
+        let f = forest(seed);
+        let flat = FlatForest::from_forest(&f);
+        for row in rows(seed * 10, 300, 5) {
+            assert_eq!(
+                flat.predict_proba(&row).to_bits(),
+                f.predict_proba(&row).to_bits(),
+                "proba diverged (seed {seed})"
+            );
+            assert_eq!(
+                flat.vote_fraction(&row).to_bits(),
+                f.vote_fraction(&row).to_bits(),
+                "vote diverged (seed {seed})"
+            );
+            assert_eq!(flat.predict(&row), f.predict(&row));
+        }
+    }
+}
+
+/// Worker-count invariance: the flat batch path equals the preserved
+/// scalar batch reference at 1/2/4/8 workers, bit for bit — and the
+/// forest's own batch method (now routed through the flat layout) agrees.
+#[test]
+fn flat_batch_invariant_across_worker_counts() {
+    let f = forest(7);
+    let flat = FlatForest::from_forest(&f);
+    let batch = rows(70, 500, 5);
+    let reference = scalar_batch(&f, &batch, &ParConfig::serial());
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = ParConfig::workers(workers);
+        for got in [
+            flat.predict_proba_batch(&batch, &cfg),
+            f.predict_proba_batch(&batch, &cfg),
+            scalar_batch(&f, &batch, &cfg),
+        ] {
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.to_bits(), r.to_bits(), "w={workers}");
+            }
+        }
+    }
+}
+
+/// Persistence round-trip: save → load → flatten preserves every
+/// prediction bit-identically (the flat layout is derived purely from
+/// the persisted structure).
+#[test]
+fn persist_round_trip_preserves_flat_predictions() {
+    let f = forest(13);
+    let loaded = persist::load_forest(&persist::save_forest(&f)).expect("round trip");
+    let flat_orig = FlatForest::from_forest(&f);
+    let flat_loaded = FlatForest::from_forest(&loaded);
+    for row in rows(130, 250, 5) {
+        let want = f.predict_proba(&row).to_bits();
+        assert_eq!(flat_orig.predict_proba(&row).to_bits(), want);
+        assert_eq!(flat_loaded.predict_proba(&row).to_bits(), want);
+    }
+}
+
+/// Laplace-smoothed leaves: every flat leaf probability is exactly
+/// `(n_pos + 1) / (n + 2)` of the corresponding arena leaf (PR 1's
+/// probability-estimation-tree fix), verified by scoring rows that pin
+/// single-leaf trees.
+#[test]
+fn flat_leaves_keep_laplace_smoothing() {
+    // Constant features → each tree is one leaf over its bootstrap bag;
+    // with bootstrap off every tree sees the same 1-of-4-positive bag.
+    let d = Dataset::from_rows(
+        &[vec![1.0], vec![1.0], vec![1.0], vec![1.0]],
+        &[true, false, false, false],
+    );
+    let f = RandomForestLearner {
+        n_trees: 4,
+        bootstrap: false,
+        ..Default::default()
+    }
+    .fit_forest(&d);
+    let flat = FlatForest::from_forest(&f);
+    // (1 + 1) / (4 + 2) per tree; mean over identical trees is the same.
+    assert_eq!(flat.predict_proba(&[1.0]).to_bits(), (2.0f64 / 6.0).to_bits());
+    // Cross-check against the arena leaves directly.
+    for tree in f.trees() {
+        for node in tree.nodes() {
+            if let Node::Leaf { n, n_pos } = node {
+                let expected = (*n_pos as f64 + 1.0) / (*n as f64 + 2.0);
+                assert_eq!(expected.to_bits(), (2.0f64 / 6.0).to_bits());
+            }
+        }
+    }
+}

@@ -309,6 +309,21 @@ pub struct JoinStats {
     /// Regions in which cost-based probe-side selection swapped the
     /// probe side (indexed the left collection, probed with the right).
     pub probe_swaps: usize,
+    /// Verification merges answered by the merge family (the
+    /// block-branchless kernel, or the preserved scalar merge when the
+    /// whole merge fits in one bound-check block). Selection is a pure
+    /// function of the operand lengths, so this splits
+    /// [`JoinStats::verified`] deterministically.
+    pub kernel_merge: usize,
+    /// Verification merges answered by the galloping kernel (operand
+    /// skew at or beyond the shared `GALLOP_RATIO`).
+    pub kernel_gallop: usize,
+    /// Edit-join candidates killed by the q-gram signature prefilter
+    /// before any banded-DP cell was computed.
+    pub killed_by_qgram_sig: usize,
+    /// Edit-join candidates whose signatures survived the prefilter
+    /// (denominator for the prefilter kill rate).
+    pub qgram_sig_checked: usize,
 }
 
 impl JoinStats {
@@ -339,6 +354,16 @@ impl JoinStats {
         obs.counter_add("magellan_simjoin_verify_steps_total", self.verify_steps as u64);
         obs.counter_add("magellan_simjoin_pairs_total", self.pairs as u64);
         obs.counter_add("magellan_simjoin_probe_swaps_total", self.probe_swaps as u64);
+        obs.counter_add("magellan_simjoin_kernel_merge_total", self.kernel_merge as u64);
+        obs.counter_add("magellan_simjoin_kernel_gallop_total", self.kernel_gallop as u64);
+        obs.counter_add(
+            "magellan_simjoin_killed_by_qgram_sig_total",
+            self.killed_by_qgram_sig as u64,
+        );
+        obs.counter_add(
+            "magellan_simjoin_qgram_sig_checked_total",
+            self.qgram_sig_checked as u64,
+        );
     }
 
     /// Fold another region's join counters into this one (all sums).
@@ -352,6 +377,10 @@ impl JoinStats {
         self.verify_steps += other.verify_steps;
         self.pairs += other.pairs;
         self.probe_swaps += other.probe_swaps;
+        self.kernel_merge += other.kernel_merge;
+        self.kernel_gallop += other.kernel_gallop;
+        self.killed_by_qgram_sig += other.killed_by_qgram_sig;
+        self.qgram_sig_checked += other.qgram_sig_checked;
     }
 
     /// Fraction of generated candidates killed by the positional filter.
@@ -369,6 +398,12 @@ impl JoinStats {
     /// verification.
     pub fn verify_rate(&self) -> f64 {
         ratio(self.verified, self.candidates)
+    }
+
+    /// Fraction of signature-checked edit-join candidates the q-gram
+    /// signature prefilter killed before any banded-DP work.
+    pub fn qgram_sig_kill_rate(&self) -> f64 {
+        ratio(self.killed_by_qgram_sig, self.qgram_sig_checked)
     }
 }
 
@@ -856,6 +891,10 @@ mod tests {
                 verify_steps: 400,
                 pairs: 8,
                 probe_swaps: 1,
+                kernel_merge: 30,
+                kernel_gallop: 10,
+                killed_by_qgram_sig: 6,
+                qgram_sig_checked: 12,
             },
         };
         let b = ParStats {
@@ -886,6 +925,10 @@ mod tests {
                 verify_steps: 100,
                 pairs: 4,
                 probe_swaps: 0,
+                kernel_merge: 25,
+                kernel_gallop: 5,
+                killed_by_qgram_sig: 2,
+                qgram_sig_checked: 4,
             },
         };
         a.merge(&b);
@@ -915,6 +958,11 @@ mod tests {
         assert_eq!(a.join.verify_steps, 500);
         assert_eq!(a.join.pairs, 12);
         assert_eq!(a.join.probe_swaps, 1);
+        assert_eq!(a.join.kernel_merge, 55);
+        assert_eq!(a.join.kernel_gallop, 15);
+        assert_eq!(a.join.killed_by_qgram_sig, 8);
+        assert_eq!(a.join.qgram_sig_checked, 16);
+        assert!((a.join.qgram_sig_kill_rate() - 0.5).abs() < 1e-12);
         assert!((a.join.position_kill_rate() - 50.0 / 150.0).abs() < 1e-12);
         assert!((a.join.suffix_kill_rate() - 0.2).abs() < 1e-12);
         assert!((a.join.verify_rate() - 70.0 / 150.0).abs() < 1e-12);

@@ -7,8 +7,27 @@
 //!   `max(|Gx|, |Gy|) − q·d` unpadded q-grams (each edit destroys at most
 //!   `q` grams). When that bound is non-positive (short strings), the
 //!   length-bucketed candidates are verified directly;
+//! * **q-gram signature prefilter** (PR 6): a 128-bit Bloom-style
+//!   signature per string (one bit per hashed gram). The same q-gram
+//!   lemma bounds the multiset differences: `dist(x, y) ≤ d` implies
+//!   `|Gx \ Gy| ≤ q·d` and `|Gy \ Gx| ≤ q·d`, and every bit set in
+//!   `sig(x) & !sig(y)` witnesses at least one *distinct* gram of
+//!   `Gx \ Gy` (bits only appear via grams, and a gram of `x` also in
+//!   `y` would have set the bit in both). So
+//!   `popcount(sig(x) & !sig(y)) > q·d` (either direction) soundly
+//!   proves `dist > d` — two word-ANDs + popcounts kill the candidate
+//!   before any banded-DP cell is computed. Hash collisions only *merge*
+//!   bits, which weakens the filter, never unsoundly strengthens it.
+//!   (This also covers gram-less strings: if `|Gx| = 0` and
+//!   `dist ≤ d`, the lemma forces `|Gy| ≤ q·d`, so y's popcount can't
+//!   exceed the budget.)
 //! * **verify**: banded (Ukkonen) Levenshtein with early exit.
+//!
+//! Prefilter effectiveness is reported through
+//! [`magellan_par::JoinStats::killed_by_qgram_sig`] /
+//! [`magellan_par::JoinStats::qgram_sig_checked`].
 
+use magellan_par::JoinStats;
 use std::collections::HashMap;
 
 /// Banded Levenshtein with Ukkonen's cut-off: `Some(dist)` if
@@ -118,6 +137,34 @@ fn qgrams(s: &str, q: usize) -> Vec<String> {
     chars.windows(q).map(|w| w.iter().collect()).collect()
 }
 
+/// 128-bit q-gram signature: bit `fnv1a(gram) mod 128` per gram.
+/// Strings with no grams (shorter than `q`) signature to zero.
+fn qgram_signature(grams: &[String]) -> [u64; 2] {
+    let mut sig = [0u64; 2];
+    for g in grams {
+        let mut h = 0xcbf29ce484222325u64;
+        for byte in g.as_bytes() {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let bit = (h % 128) as usize;
+        sig[bit / 64] |= 1u64 << (bit % 64);
+    }
+    sig
+}
+
+/// Sound signature test: `false` proves `dist(x, y) > d` (see the
+/// module docs for the q-gram-lemma argument); `true` decides nothing.
+#[inline]
+fn sig_may_match(sx: [u64; 2], sy: [u64; 2], gram_budget: u32) -> bool {
+    let x_only = (sx[0] & !sy[0]).count_ones() + (sx[1] & !sy[1]).count_ones();
+    if x_only > gram_budget {
+        return false;
+    }
+    let y_only = (sy[0] & !sx[0]).count_ones() + (sy[1] & !sx[1]).count_ones();
+    y_only <= gram_budget
+}
+
 /// Join: every `(l, r)` with `levenshtein(left[l], right[r]) ≤ d`.
 /// `None` entries never match. Uses q-gram size `q = 2`.
 pub fn edit_distance_join<S: AsRef<str>>(
@@ -135,17 +182,34 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
     d: usize,
     q: usize,
 ) -> Vec<EditJoinPair> {
+    edit_distance_join_q_stats(left, right, d, q).0
+}
+
+/// [`edit_distance_join_q`] also returning filter telemetry (the q-gram
+/// signature prefilter's checked/killed counters ride in the shared
+/// [`JoinStats`]). Counters are pure functions of the inputs.
+pub fn edit_distance_join_q_stats<S: AsRef<str>>(
+    left: &[Option<S>],
+    right: &[Option<S>],
+    d: usize,
+    q: usize,
+) -> (Vec<EditJoinPair>, JoinStats) {
     assert!(q >= 1, "q must be at least 1");
+    // Bits the signature prefilter may see differ by `q·d` at most when
+    // the pair qualifies; clamp for the (absurd) huge-threshold case.
+    let gram_budget = (q.saturating_mul(d)).min(u32::MAX as usize) as u32;
     // Token-id map over all grams of the right side.
     let mut gram_ids: HashMap<String, u32> = HashMap::new();
     let mut postings: Vec<Vec<u32>> = Vec::new(); // gram id -> right record ids
     let mut right_lens: Vec<usize> = Vec::with_capacity(right.len());
     let mut by_len: HashMap<usize, Vec<u32>> = HashMap::new();
     let mut right_gram_count: Vec<usize> = Vec::with_capacity(right.len());
+    let mut right_sigs: Vec<[u64; 2]> = Vec::with_capacity(right.len());
     for (rid, s) in right.iter().enumerate() {
         let Some(s) = s else {
             right_lens.push(usize::MAX); // unmatched sentinel
             right_gram_count.push(0);
+            right_sigs.push([0; 2]);
             continue;
         };
         let s = s.as_ref();
@@ -154,6 +218,7 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
         by_len.entry(len).or_default().push(rid as u32);
         let grams = qgrams(s, q);
         right_gram_count.push(grams.len());
+        right_sigs.push(qgram_signature(&grams));
         for g in grams {
             let next_id = gram_ids.len() as u32;
             let id = *gram_ids.entry(g).or_insert(next_id);
@@ -165,11 +230,13 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
     }
 
     let mut out = Vec::new();
+    let mut stats = JoinStats::default();
     let mut counts: Vec<u32> = vec![0; right.len()];
     let mut touched: Vec<u32> = Vec::new();
     for (l, s) in left.iter().enumerate() {
         let Some(s) = s else { continue };
         let s = s.as_ref();
+        stats.probes += 1;
         let n = s.chars().count();
         let lo = n.saturating_sub(d);
         let hi = n + d;
@@ -178,6 +245,7 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
         // shared-gram count is >= 1, i.e. max(|Gx|,|Gy|) - q*d >= 1.
         // We conservatively require only `req(m)` grams for each candidate.
         let probe_grams = qgrams(s, q);
+        let sig_x = qgram_signature(&probe_grams);
         for g in &probe_grams {
             if let Some(&id) = gram_ids.get(g) {
                 for &rid in &postings[id as usize] {
@@ -204,8 +272,16 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
             }
             counts[rid as usize] = 0;
             if req >= 1 {
+                stats.candidates += 1;
+                stats.qgram_sig_checked += 1;
+                if !sig_may_match(sig_x, right_sigs[rid as usize], gram_budget) {
+                    stats.killed_by_qgram_sig += 1;
+                    continue;
+                }
                 if let Some(b) = right[rid as usize].as_ref() {
+                    stats.verified += 1;
                     if let Some(dist) = levenshtein_within(s, b.as_ref(), d) {
+                        stats.pairs += 1;
                         out.push(EditJoinPair {
                             l,
                             r: rid as usize,
@@ -230,8 +306,16 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
             }
             if let Some(bucket) = by_len.get(&m) {
                 for &rid in bucket {
+                    stats.candidates += 1;
+                    stats.qgram_sig_checked += 1;
+                    if !sig_may_match(sig_x, right_sigs[rid as usize], gram_budget) {
+                        stats.killed_by_qgram_sig += 1;
+                        continue;
+                    }
                     if let Some(b) = right[rid as usize].as_ref() {
+                        stats.verified += 1;
                         if let Some(dist) = levenshtein_within(s, b.as_ref(), d) {
+                            stats.pairs += 1;
                             out.push(EditJoinPair {
                                 l,
                                 r: rid as usize,
@@ -245,7 +329,8 @@ pub fn edit_distance_join_q<S: AsRef<str>>(
     }
     out.sort_unstable_by_key(|a| (a.l, a.r));
     out.dedup();
-    out
+    stats.publish();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -377,6 +462,108 @@ mod tests {
         let left: Vec<Option<String>> = vec![None];
         let right = some(&["x"]);
         assert!(edit_distance_join(&left, &right, 5).is_empty());
+    }
+
+    /// Prefilter soundness against the unbounded-Levenshtein oracle: no
+    /// candidate the banded DP would have accepted may be pre-filtered
+    /// out. Verified by brute force — for every cross pair within the
+    /// threshold, the signature test must say "may match".
+    #[test]
+    fn qgram_sig_prefilter_never_kills_a_true_match() {
+        let mut state = 0xED17u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mk = |next: &mut dyn FnMut() -> usize, n: usize, alpha: usize| -> Vec<String> {
+            (0..n)
+                .map(|_| {
+                    let len = next() % 10;
+                    (0..len)
+                        .map(|_| (b'a' + (next() % alpha) as u8) as char)
+                        .collect()
+                })
+                .collect()
+        };
+        for alpha in [2usize, 4, 8] {
+            let xs = mk(&mut next, 60, alpha);
+            let ys = mk(&mut next, 60, alpha);
+            for q in [2usize, 3] {
+                for d in [0usize, 1, 2] {
+                    let budget = (q * d) as u32;
+                    for x in &xs {
+                        let sx = qgram_signature(&qgrams(x, q));
+                        for y in &ys {
+                            if levenshtein(x, y) <= d {
+                                let sy = qgram_signature(&qgrams(y, q));
+                                assert!(
+                                    sig_may_match(sx, sy, budget),
+                                    "sound filter killed true match: {x:?} {y:?} q={q} d={d}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-to-end: the stats-returning join agrees with the naive oracle
+    /// (so the prefilter changed nothing), its counters are coherent, and
+    /// on clusterable data the signature prefilter actually kills a
+    /// meaningful share of candidates.
+    #[test]
+    fn join_stats_report_qgram_sig_kills() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        // Repeated-motif strings with random tails: the motif's gram
+        // *multiplicity* inflates the shared-gram count filter (it counts
+        // occurrence products, not distinct grams), so pairs sharing a
+        // motif survive it — while their tails contribute > q·d distinct
+        // one-sided grams, which is exactly what the signature sees.
+        let motifs = ["abc", "cba", "bac", "acb"];
+        let mk = |next: &mut dyn FnMut() -> usize| -> Vec<Option<String>> {
+            (0..100)
+                .map(|_| {
+                    let m = motifs[next() % motifs.len()];
+                    let tail: String = (0..6)
+                        .map(|_| (b'g' + (next() % 12) as u8) as char)
+                        .collect();
+                    Some(format!("{m}{m}{m}{tail}"))
+                })
+                .collect()
+        };
+        let left = mk(&mut next);
+        let right = mk(&mut next);
+        for d in [1usize, 2] {
+            let (pairs, stats) = edit_distance_join_q_stats(&left, &right, d, 2);
+            let fast: Vec<(usize, usize)> = pairs.iter().map(|p| (p.l, p.r)).collect();
+            assert_eq!(fast, naive(&left, &right, d), "d={d}");
+            // Counter coherence: every checked candidate is either killed
+            // or goes on to verification; emitted pairs ⊆ verified.
+            assert_eq!(stats.qgram_sig_checked, stats.candidates);
+            assert_eq!(
+                stats.verified + stats.killed_by_qgram_sig,
+                stats.qgram_sig_checked,
+                "d={d}"
+            );
+            assert!(stats.pairs <= stats.verified);
+            assert_eq!(stats.pairs, pairs.len());
+            assert!(stats.probes > 0 && stats.candidates > 0);
+            // The prefilter must actually be doing work on this shape.
+            assert!(
+                stats.qgram_sig_kill_rate() > 0.10,
+                "kill rate {} too low (d={d})",
+                stats.qgram_sig_kill_rate()
+            );
+        }
     }
 
     #[test]

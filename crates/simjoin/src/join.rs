@@ -34,7 +34,7 @@ use magellan_textsim::tokenize::Tokenizer;
 use crate::collection::TokenizedCollection;
 use crate::filters;
 use crate::index::PrefixIndex;
-use crate::verify::overlap_sorted_bounded;
+use crate::verify::{overlap_sorted_bounded, verify_kernel};
 
 /// A similarity measure + threshold for a set-similarity join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -393,6 +393,13 @@ fn probe_one(
             (&x[st.px as usize + 1..], &y[plen_y..])
         };
         stats.verified += 1;
+        // Selection telemetry: which kernel answers this merge is a pure
+        // function of the operand lengths (and the process-wide mode), so
+        // the split is worker-count invariant like every other counter.
+        match verify_kernel(rest_x, rest_y) {
+            magellan_textsim::kernels::Kernel::Gallop => stats.kernel_gallop += 1,
+            _ => stats.kernel_merge += 1,
+        }
         match overlap_sorted_bounded(rest_x, rest_y, need.saturating_sub(cnt), &mut stats.verify_steps)
         {
             None => stats.killed_by_suffix += 1,
@@ -715,6 +722,8 @@ mod tests {
         assert_eq!(serial.verified, serial.killed_by_suffix + out.len());
         assert_eq!(serial.pairs, out.len());
         assert!(serial.probes > 0 && serial.verify_steps > 0);
+        // Every verification merge is attributed to exactly one kernel.
+        assert_eq!(serial.kernel_merge + serial.kernel_gallop, serial.verified);
         for workers in [1, 4] {
             let (pout, pstats) =
                 join_tokenized_par(&coll, measure, &ParConfig::workers(workers));
@@ -729,7 +738,9 @@ mod tests {
                     pj.killed_by_suffix,
                     pj.verified,
                     pj.verify_steps,
-                    pj.pairs
+                    pj.pairs,
+                    pj.kernel_merge,
+                    pj.kernel_gallop
                 ),
                 (
                     serial.probes,
@@ -739,7 +750,9 @@ mod tests {
                     serial.killed_by_suffix,
                     serial.verified,
                     serial.verify_steps,
-                    serial.pairs
+                    serial.pairs,
+                    serial.kernel_merge,
+                    serial.kernel_gallop
                 ),
                 "workers={workers}"
             );

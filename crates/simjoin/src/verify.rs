@@ -18,9 +18,37 @@
 //! the linear merge degrades to O(|long|); we instead gallop: for each
 //! token of the short side, exponential search + binary search locate
 //! its position in the long side in O(log gap) steps.
+//!
+//! ## Kernel dispatch (PR 6)
+//!
+//! The balanced merge itself now comes in two flavors behind
+//! [`overlap_sorted_bounded`]:
+//!
+//! * the **preserved scalar reference** ([`overlap_sorted_bounded_scalar`])
+//!   — the PR 4 branchy merge, verbatim; and
+//! * a **block-branchless merge** that advances both cursors with
+//!   unconditional `usize::from` compare outcomes (the
+//!   `magellan_textsim::kernels` merge kernel) and re-checks the failure
+//!   bound only once per [`BOUND_CHECK_INTERVAL`]-step block.
+//!
+//! Coarsening the bound check is *output-invisible*: the mid-merge bound
+//! exits are purely a speed device — the final `n >= need` decision (and
+//! the exact overlap on success) is computed identically, so the
+//! `Option<usize>` result matches the scalar reference on every input.
+//! Only `steps` telemetry (a deterministic function of the inputs in
+//! both modes) differs between the two. Dispatch honors the process-wide
+//! [`magellan_textsim::kernels::mode`] switch so benches and the oracle
+//! harness can pin the scalar path.
+
+use magellan_textsim::kernels::{self, Kernel, KernelMode};
 
 /// Size ratio beyond which the merge switches to galloping search.
-pub const GALLOP_RATIO: usize = 16;
+/// Equal to [`magellan_textsim::kernels::GALLOP_RATIO`] so the two
+/// tiers' selection telemetry composes.
+pub const GALLOP_RATIO: usize = kernels::GALLOP_RATIO;
+
+/// Steps the block-branchless merge runs between failure-bound checks.
+pub const BOUND_CHECK_INTERVAL: usize = 32;
 
 /// Exact intersection size of two sorted deduped id sets **if** it can
 /// still reach `need`; `None` as soon as the running upper bound
@@ -31,8 +59,112 @@ pub const GALLOP_RATIO: usize = 16;
 ///
 /// `need == 0` trivially succeeds but still computes the exact overlap
 /// (callers report similarities from it).
+///
+/// Dispatches between the galloping kernel, the block-branchless merge,
+/// and (when the process-wide kernel mode pins the scalar reference)
+/// [`overlap_sorted_bounded_scalar`]. All three agree on the result for
+/// every input; see the module docs for why.
 #[inline]
 pub fn overlap_sorted_bounded(a: &[u32], b: &[u32], need: usize, steps: &mut usize) -> Option<usize> {
+    match verify_kernel(a, b) {
+        Kernel::Scalar => overlap_sorted_bounded_scalar(a, b, need, steps),
+        Kernel::Gallop => {
+            if a.len() <= b.len() {
+                gallop_overlap(a, b, need, steps)
+            } else {
+                gallop_overlap(b, a, need, steps)
+            }
+        }
+        _ => merge_overlap_blocked(a, b, need, steps),
+    }
+}
+
+/// Which verification kernel [`overlap_sorted_bounded`] will use for
+/// these operands — a pure function of the slice lengths and the
+/// process-wide kernel mode, so the selection counters built from it
+/// ([`magellan_par::JoinStats`]) are deterministic.
+///
+/// Operands whose whole merge fits inside one
+/// [`BOUND_CHECK_INTERVAL`]-step block select the scalar reference:
+/// block-coarsening the bound check cannot save anything there, while
+/// the scalar path's per-element bound still buys its early failure
+/// exits.
+#[inline]
+pub fn verify_kernel(a: &[u32], b: &[u32]) -> Kernel {
+    if kernels::mode() == KernelMode::ScalarReference {
+        return Kernel::Scalar;
+    }
+    if a.len() >= GALLOP_RATIO.saturating_mul(b.len().max(1))
+        || b.len() >= GALLOP_RATIO.saturating_mul(a.len().max(1))
+    {
+        Kernel::Gallop
+    } else if a.len() + b.len() <= BOUND_CHECK_INTERVAL {
+        Kernel::Scalar
+    } else {
+        Kernel::Merge
+    }
+}
+
+/// Bounded overlap by block-branchless merge: both cursors advance by
+/// unconditional compare outcomes ([`kernels::intersect_merge`]'s inner
+/// step) and the failure bound is re-checked once per
+/// [`BOUND_CHECK_INTERVAL`] steps. Same result contract as
+/// [`overlap_sorted_bounded_scalar`] on every input.
+#[inline]
+fn merge_overlap_blocked(a: &[u32], b: &[u32], need: usize, steps: &mut usize) -> Option<usize> {
+    let (la, lb) = (a.len(), b.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut n: usize = 0;
+    while i < la && j < lb {
+        if n >= need {
+            // Qualification settled: finish branchless, no bound checks,
+            // for the exact overlap the similarity needs.
+            while i < la && j < lb {
+                let x = a[i];
+                let y = b[j];
+                n += usize::from(x == y);
+                i += usize::from(x <= y);
+                j += usize::from(y <= x);
+                *steps += 1;
+            }
+            return Some(n);
+        }
+        // Upper bound: matched so far plus the best case on the shorter
+        // remainder. Checked per block, not per element — the final
+        // `n >= need` decision below is what guarantees correctness.
+        if n + (la - i).min(lb - j) < need {
+            return None;
+        }
+        let mut k = 0;
+        while i < la && j < lb && k < BOUND_CHECK_INTERVAL {
+            let x = a[i];
+            let y = b[j];
+            n += usize::from(x == y);
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+            k += 1;
+        }
+        *steps += k;
+    }
+    if n >= need {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// The **preserved scalar reference** for bounded verification: the PR 4
+/// branchy merge with per-element bound bookkeeping, verbatim. The
+/// kernel-dispatch tests hold [`overlap_sorted_bounded`] to this
+/// function's result on every input.
+#[inline]
+pub fn overlap_sorted_bounded_scalar(
+    a: &[u32],
+    b: &[u32],
+    need: usize,
+    steps: &mut usize,
+) -> Option<usize> {
     // Gallop when one side dwarfs the other; the bound logic is the same.
     if a.len() >= GALLOP_RATIO.saturating_mul(b.len().max(1)) {
         return gallop_overlap(b, a, need, steps);
@@ -250,7 +382,47 @@ mod tests {
                 } else {
                     assert_eq!(got, None, "trial={trial} need={need}");
                 }
+                // Kernel contract: the adaptive dispatch result equals the
+                // preserved scalar reference on every (input, need).
+                let mut s = 0;
+                assert_eq!(
+                    got,
+                    overlap_sorted_bounded_scalar(&a, &b, need, &mut s),
+                    "dispatch diverged from scalar: trial={trial} need={need}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn blocked_merge_agrees_with_scalar_across_block_boundaries() {
+        // Shapes sized around BOUND_CHECK_INTERVAL so the block-coarsened
+        // bound check is exercised right at its edges.
+        for la in [1, 31, 32, 33, 63, 64, 65, 200] {
+            let a: Vec<u32> = (0..la as u32).map(|v| v * 2).collect();
+            let b: Vec<u32> = (0..la as u32).map(|v| v * 3).collect();
+            let exact = overlap_sorted(&a, &b);
+            for need in [0, 1, exact, exact + 1, la] {
+                let mut s1 = 0;
+                let mut s2 = 0;
+                assert_eq!(
+                    overlap_sorted_bounded(&a, &b, need, &mut s1),
+                    overlap_sorted_bounded_scalar(&a, &b, need, &mut s2),
+                    "la={la} need={need}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_kernel_selection_is_length_pure() {
+        // Single-block operands stay on the scalar reference.
+        assert_eq!(verify_kernel(&[1, 2, 3], &[4, 5]), Kernel::Scalar);
+        assert_eq!(verify_kernel(&[], &[]), Kernel::Scalar);
+        let mid: Vec<u32> = (0..20).collect();
+        assert_eq!(verify_kernel(&mid, &mid), Kernel::Merge);
+        let long: Vec<u32> = (0..100).collect();
+        assert_eq!(verify_kernel(&[1], &long), Kernel::Gallop);
+        assert_eq!(verify_kernel(&long, &[1]), Kernel::Gallop);
     }
 }

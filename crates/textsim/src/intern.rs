@@ -87,6 +87,13 @@ impl TokenInterner {
 
 /// `|a ∩ b|` of two sorted deduplicated id slices (merge walk, no
 /// hashing, no allocation).
+///
+/// This is the **scalar reference kernel**: the [`crate::kernels`] tier
+/// answers the same question with branchless/galloping/bitset kernels
+/// and is held bit-identical to this walk by the kernel-oracle harness.
+/// The similarity measures below go through the adaptive tier
+/// ([`crate::kernels::intersect_auto`]); this function stays the
+/// preserved oracle.
 pub fn intersect_size_sorted(a: &[u32], b: &[u32]) -> usize {
     let mut i = 0;
     let mut j = 0;
@@ -111,7 +118,7 @@ pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let inter = intersect_size_sorted(a, b);
+    let inter = crate::kernels::intersect_auto(a, b);
     let union = a.len() + b.len() - inter;
     inter as f64 / union as f64
 }
@@ -122,7 +129,7 @@ pub fn dice_ids(a: &[u32], b: &[u32]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let inter = intersect_size_sorted(a, b);
+    let inter = crate::kernels::intersect_auto(a, b);
     2.0 * inter as f64 / (a.len() + b.len()) as f64
 }
 
@@ -136,7 +143,7 @@ pub fn cosine_ids(a: &[u32], b: &[u32]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let inter = intersect_size_sorted(a, b);
+    let inter = crate::kernels::intersect_auto(a, b);
     inter as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
 }
 
@@ -149,13 +156,13 @@ pub fn overlap_coefficient_ids(a: &[u32], b: &[u32]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let inter = intersect_size_sorted(a, b);
+    let inter = crate::kernels::intersect_auto(a, b);
     inter as f64 / a.len().min(b.len()) as f64
 }
 
 /// Raw overlap size `|A ∩ B|` over sorted deduplicated id sets.
 pub fn overlap_size_ids(a: &[u32], b: &[u32]) -> usize {
-    intersect_size_sorted(a, b)
+    crate::kernels::intersect_auto(a, b)
 }
 
 #[cfg(test)]
@@ -216,6 +223,8 @@ mod tests {
             let (tx, ty) = (toks(x), toks(y));
             let mut it = TokenInterner::new();
             let (ix, iy) = (it.intern_set(&tx), it.intern_set(&ty));
+            assert!(crate::kernels::is_sorted_dedup(&ix));
+            assert!(crate::kernels::is_sorted_dedup(&iy));
             assert_eq!(
                 jaccard_ids(&ix, &iy).to_bits(),
                 setsim::jaccard(&tx, &ty).to_bits(),
@@ -237,6 +246,69 @@ mod tests {
                 "overlap {x:?}/{y:?}"
             );
             assert_eq!(overlap_size_ids(&ix, &iy), setsim::overlap_size(&tx, &ty));
+        }
+    }
+
+    /// Regression: an empty probe slice (every token OOV-clamped away
+    /// upstream, e.g. a record whose tokens are all unseen during a
+    /// prepared-cache probe) must hit the documented guards, not the
+    /// kernels — jaccard/dice on `([], [])` is defined as 1.0, cosine and
+    /// overlap-coefficient on a single empty side as 0.0, and the raw
+    /// overlap size as 0, regardless of which kernel the adaptive tier
+    /// would otherwise pick for the non-empty side's shape.
+    #[test]
+    fn empty_probe_slice_after_oov_clamp() {
+        let dense: Vec<u32> = (0..256).collect(); // shape that selects the bitset kernel
+        let empty: [u32; 0] = [];
+        for other in [&dense[..], &empty[..]] {
+            assert_eq!(overlap_size_ids(&empty, other), 0);
+            assert_eq!(overlap_size_ids(other, &empty), 0);
+        }
+        assert_eq!(jaccard_ids(&empty, &empty).to_bits(), 1.0f64.to_bits());
+        assert_eq!(dice_ids(&empty, &empty).to_bits(), 1.0f64.to_bits());
+        assert_eq!(cosine_ids(&empty, &empty).to_bits(), 1.0f64.to_bits());
+        assert_eq!(
+            overlap_coefficient_ids(&empty, &empty).to_bits(),
+            1.0f64.to_bits()
+        );
+        assert_eq!(jaccard_ids(&empty, &dense).to_bits(), 0.0f64.to_bits());
+        assert_eq!(dice_ids(&dense, &empty).to_bits(), 0.0f64.to_bits());
+        assert_eq!(cosine_ids(&empty, &dense).to_bits(), 0.0f64.to_bits());
+        assert_eq!(
+            overlap_coefficient_ids(&dense, &empty).to_bits(),
+            0.0f64.to_bits()
+        );
+    }
+
+    /// Regression: `intern_set` upholds the sorted-dedup invariant the
+    /// kernel tier assumes, even for pathological bags (all-duplicate,
+    /// reverse-insertion-order, single token), and the measures agree
+    /// with the scalar reference on those sets.
+    #[test]
+    fn duplicate_free_invariant_feeds_kernels() {
+        let mut it = TokenInterner::new();
+        // Insertion order deliberately scrambles id order.
+        for t in ["zeta", "alpha", "mu", "beta"] {
+            it.intern(t);
+        }
+        let bags = [
+            toks("zeta zeta zeta"),
+            toks("beta alpha beta alpha"),
+            toks("mu"),
+            toks("alpha beta mu zeta alpha beta mu zeta"),
+        ];
+        let sets: Vec<Vec<u32>> = bags.iter().map(|b| it.intern_set(b)).collect();
+        for s in &sets {
+            assert!(crate::kernels::is_sorted_dedup(s), "invariant broken: {s:?}");
+        }
+        for x in &sets {
+            for y in &sets {
+                assert_eq!(
+                    overlap_size_ids(x, y),
+                    intersect_size_sorted(x, y),
+                    "adaptive tier diverged from scalar oracle on {x:?} vs {y:?}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,307 @@
+//! The kernel-oracle harness: the enforcement arm of the kernel tier's
+//! bit-identity contract (DESIGN.md §7.2).
+//!
+//! One grid — **kernel × input-shape class × seed × worker count** —
+//! checks every intersection kernel against the preserved scalar
+//! reference ([`kernels::intersect_scalar`], byte-identical to the PR 3
+//! `intern::intersect_size_sorted` walk) and checks **exact-`f64`
+//! equality** of all four similarity measures built on the counts.
+//!
+//! ## Registering a kernel
+//!
+//! Add the variant to [`kernels::Kernel`], route it in
+//! [`kernels::dispatch`], and it is in the grid: `REGISTRY` enumerates
+//! `Kernel` exhaustively, so a new variant that skips `dispatch` fails
+//! to compile and one that diverges from the scalar count fails here on
+//! the first adversarial shape.
+//!
+//! ## Seeds and workers
+//!
+//! The CI `kernel-oracle` job sets `KERNEL_ORACLE_SEEDS=4` (default 2);
+//! each seed redraws every randomized shape class. The worker axis runs
+//! the identical pair set on 1/2/4/8 threads — this is what proves the
+//! bitset kernel's thread-local rasterization scratch never leaks state
+//! across calls or threads.
+
+use magellan_textsim::intern;
+use magellan_textsim::kernels::{self, Kernel, KernelMode};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Every kernel under contract. Exhaustive over [`Kernel`] — extend this
+/// array when registering a new kernel (the match below won't let you
+/// forget the dispatch route).
+const REGISTRY: [Kernel; 4] = [Kernel::Scalar, Kernel::Merge, Kernel::Gallop, Kernel::Bitset];
+
+/// The adversarial input-shape classes from the issue grid. Each class
+/// draws a *pair* of sorted deduplicated id sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// One or both sides empty (OOV-clamped probe slices).
+    Empty,
+    /// Single-element sides, hit and miss.
+    Singleton,
+    /// `a == b` (every element intersects).
+    FullOverlap,
+    /// Value ranges that never touch.
+    Disjoint,
+    /// ≥16× length skew (the gallop trigger) with sparse overlap.
+    Skew16x,
+    /// Dense runs hugging the top of the `u32` range (span arithmetic
+    /// overflow bait for the bitset kernel).
+    DenseU32Range,
+    /// Unconstrained sparse soup (the merge default).
+    SparseRandom,
+}
+
+const SHAPES: [Shape; 7] = [
+    Shape::Empty,
+    Shape::Singleton,
+    Shape::FullOverlap,
+    Shape::Disjoint,
+    Shape::Skew16x,
+    Shape::DenseU32Range,
+    Shape::SparseRandom,
+];
+
+/// Cases drawn per (shape, seed) cell.
+const CASES_PER_CELL: usize = 48;
+
+/// Oracle seeds: `KERNEL_ORACLE_SEEDS` (count, CI sets 4) or 2.
+fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("KERNEL_ORACLE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    (0..n.max(1)).map(|i| 0x6b65726e + 101 * i).collect()
+}
+
+fn sorted_dedup(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Draw one id-set pair of the given shape class.
+fn draw_pair(shape: Shape, rng: &mut TestRng) -> (Vec<u32>, Vec<u32>) {
+    match shape {
+        Shape::Empty => {
+            let other = sorted_dedup((0..rng.below(20)).map(|_| rng.below(1000) as u32).collect());
+            if rng.below(2) == 0 {
+                (Vec::new(), other)
+            } else {
+                (other, Vec::new())
+            }
+        }
+        Shape::Singleton => {
+            let x = rng.below(1 << 20) as u32;
+            let y = if rng.below(2) == 0 { x } else { x.wrapping_add(1 + rng.below(100) as u32) };
+            (vec![x], vec![y])
+        }
+        Shape::FullOverlap => {
+            let a = sorted_dedup(
+                (0..1 + rng.below(300)).map(|_| rng.below(1 << 16) as u32).collect(),
+            );
+            (a.clone(), a)
+        }
+        Shape::Disjoint => {
+            let split = 1_000_000 + rng.below(1 << 20) as u32;
+            let a = sorted_dedup((0..1 + rng.below(200)).map(|_| rng.below(split as u64) as u32).collect());
+            let b = sorted_dedup(
+                (0..1 + rng.below(200)).map(|_| split + rng.below(1 << 20) as u32).collect(),
+            );
+            (a, b)
+        }
+        Shape::Skew16x => {
+            let long = sorted_dedup((0..800 + rng.below(800)).map(|_| rng.below(1 << 18) as u32).collect());
+            let short_len = 1 + rng.below((long.len() / 16).max(1) as u64) as usize;
+            // Half the probes sampled from the long side (hits), half random.
+            let short = sorted_dedup(
+                (0..short_len)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            long[rng.below(long.len() as u64) as usize]
+                        } else {
+                            rng.below(1 << 18) as u32
+                        }
+                    })
+                    .collect(),
+            );
+            (short, long)
+        }
+        Shape::DenseU32Range => {
+            let len_a = 32 + rng.below(256) as u32;
+            let len_b = 32 + rng.below(256) as u32;
+            let start_a = u32::MAX - len_a - rng.below(64) as u32;
+            let start_b = u32::MAX - len_b - rng.below(64) as u32;
+            let a: Vec<u32> = (start_a..start_a + len_a).collect();
+            let b: Vec<u32> = (start_b..start_b + len_b).collect();
+            (a, b)
+        }
+        Shape::SparseRandom => {
+            let a = sorted_dedup(
+                (0..rng.below(400)).map(|_| (rng.below(1 << 24)) as u32).collect(),
+            );
+            let b = sorted_dedup(
+                (0..rng.below(400)).map(|_| (rng.below(1 << 24)) as u32).collect(),
+            );
+            (a, b)
+        }
+    }
+}
+
+/// The four similarity measures as pure functions of
+/// `(|A|, |B|, |A ∩ B|)`, arithmetic mirrored expression-for-expression
+/// from `intern::*_ids` — the expected values the measures must hit
+/// bit-for-bit when fed each kernel's count.
+fn measures(la: usize, lb: usize, inter: usize) -> [f64; 4] {
+    let jaccard = if la == 0 && lb == 0 {
+        1.0
+    } else {
+        inter as f64 / (la + lb - inter) as f64
+    };
+    let dice = if la == 0 && lb == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / (la + lb) as f64
+    };
+    let cosine = if la == 0 && lb == 0 {
+        1.0
+    } else if la == 0 || lb == 0 {
+        0.0
+    } else {
+        inter as f64 / ((la as f64) * (lb as f64)).sqrt()
+    };
+    let overlap = if la == 0 && lb == 0 {
+        1.0
+    } else if la == 0 || lb == 0 {
+        0.0
+    } else {
+        inter as f64 / la.min(lb) as f64
+    };
+    [jaccard, dice, cosine, overlap]
+}
+
+/// One grid cell check: every registered kernel (both argument orders)
+/// against the scalar count, then all four measures at exact-`f64`
+/// equality through the production `intern::*_ids` entry points.
+fn check_pair(a: &[u32], b: &[u32]) {
+    assert!(kernels::is_sorted_dedup(a) && kernels::is_sorted_dedup(b));
+    let want = kernels::intersect_scalar(a, b);
+    for k in REGISTRY {
+        assert_eq!(
+            kernels::dispatch(k, a, b),
+            want,
+            "{k:?} diverged on |a|={} |b|={}",
+            a.len(),
+            b.len()
+        );
+        assert_eq!(kernels::dispatch(k, b, a), want, "{k:?} not symmetric");
+    }
+    assert_eq!(kernels::intersect_auto(a, b), want, "adaptive dispatch diverged");
+    let [jac, dice, cos, ovl] = measures(a.len(), b.len(), want);
+    assert_eq!(intern::jaccard_ids(a, b).to_bits(), jac.to_bits());
+    assert_eq!(intern::dice_ids(a, b).to_bits(), dice.to_bits());
+    assert_eq!(intern::cosine_ids(a, b).to_bits(), cos.to_bits());
+    assert_eq!(intern::overlap_coefficient_ids(a, b).to_bits(), ovl.to_bits());
+    assert_eq!(intern::overlap_size_ids(a, b), want);
+}
+
+/// Materialize the full pair set for one seed (every shape × case).
+fn grid_pairs(seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut rng = TestRng::new(seed);
+    let mut pairs = Vec::with_capacity(SHAPES.len() * CASES_PER_CELL);
+    for shape in SHAPES {
+        for _ in 0..CASES_PER_CELL {
+            pairs.push(draw_pair(shape, &mut rng));
+        }
+    }
+    pairs
+}
+
+/// The core grid: kernel × shape class × seed, single-threaded.
+#[test]
+fn oracle_grid_single_worker() {
+    for seed in seeds() {
+        for (a, b) in grid_pairs(seed) {
+            check_pair(&a, &b);
+        }
+    }
+}
+
+/// The worker axis: the identical pair set checked concurrently on
+/// 1/2/4/8 threads. Every thread runs every kernel on its chunk; this
+/// is the test that would catch cross-call or cross-thread state leaks
+/// in the bitset kernel's thread-local scratch.
+#[test]
+fn oracle_grid_worker_counts() {
+    let pairs: Vec<_> = seeds().into_iter().flat_map(grid_pairs).collect();
+    for workers in [1usize, 2, 4, 8] {
+        std::thread::scope(|s| {
+            let chunk = pairs.len().div_ceil(workers);
+            for slice in pairs.chunks(chunk) {
+                s.spawn(move || {
+                    for (a, b) in slice {
+                        check_pair(a, b);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The mode switch is output-invisible: the whole grid answers
+/// identically with the adaptive tier pinned to the scalar reference.
+#[test]
+fn oracle_grid_scalar_mode_invisible() {
+    let pairs = grid_pairs(seeds()[0]);
+    let adaptive: Vec<u64> = pairs
+        .iter()
+        .map(|(a, b)| intern::jaccard_ids(a, b).to_bits())
+        .collect();
+    kernels::set_mode(KernelMode::ScalarReference);
+    let pinned: Vec<u64> = pairs
+        .iter()
+        .map(|(a, b)| intern::jaccard_ids(a, b).to_bits())
+        .collect();
+    kernels::set_mode(KernelMode::Adaptive);
+    assert_eq!(adaptive, pinned);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Free-form proptest arm of the grid: unconstrained sorted-dedup
+    /// pairs with occasional shared draws so overlap is nontrivial.
+    #[test]
+    fn oracle_random_pairs(
+        raw_a in proptest::collection::vec(0u32..1 << 22, 0..300),
+        raw_b in proptest::collection::vec(0u32..1 << 22, 0..300),
+        share in 0usize..4,
+    ) {
+        let mut a = raw_a;
+        let b = sorted_dedup(raw_b);
+        // Splice some of b into a so random pairs aren't near-disjoint.
+        a.extend(b.iter().step_by(share + 1).copied());
+        let a = sorted_dedup(a);
+        check_pair(&a, &b);
+        prop_assert_eq!(
+            kernels::intersect_auto(&a, &b),
+            kernels::intersect_scalar(&a, &b)
+        );
+    }
+
+    /// Dense low-range pairs (the bitset selector's home turf).
+    #[test]
+    fn oracle_random_dense_pairs(
+        start_a in 0u32..512,
+        start_b in 0u32..512,
+        len_a in 24usize..300,
+        len_b in 24usize..300,
+        stride in 1u32..3,
+    ) {
+        let a: Vec<u32> = (0..len_a as u32).map(|i| start_a + i * stride).collect();
+        let b: Vec<u32> = (0..len_b as u32).map(|i| start_b + i).collect();
+        check_pair(&a, &b);
+    }
+}
