@@ -12,6 +12,15 @@
 //! bytes), while an I/O blip during save/load is **transient** and the
 //! executor retries it under its [`magellan_faults::RetryPolicy`].
 //!
+//! Every checkpoint ends with a `sum fnv1a <16 hex>` trailer — an FNV-1a
+//! hash of all preceding bytes — so a torn write (half-old/half-new file
+//! after a crash mid-rename) or bit rot is detected as a precise fatal
+//! `Corrupt` error instead of being half-parsed into a plausible but
+//! wrong resume state. The helpers [`fnv1a`], [`append_checksum`], and
+//! [`verify_checksum`] are public so other line-oriented persistence
+//! surfaces (e.g. the service-layer `emsvc v1` checkpoint) share the same
+//! trailer convention.
+//!
 //! Stores are pluggable via [`CheckpointStore`]: [`MemStore`] backs the
 //! chaos suite, [`FileStore`] backs real runs, and [`FlakyStore`] wraps
 //! either with seeded transient I/O faults from a
@@ -95,20 +104,24 @@ impl Checkpoint {
             }
         }
         out.push_str("end\n");
+        append_checksum(&mut out);
         out
     }
 
     /// Parse the `emckpt v1` text format. Any deviation — wrong magic,
-    /// unknown phase, bad pair syntax, missing `end` — is a fatal
-    /// [`MagellanError::Checkpoint`] carrying the offending line number.
+    /// missing or mismatched checksum trailer, unknown phase, bad pair
+    /// syntax, missing `end` — is a fatal [`MagellanError::Checkpoint`]
+    /// carrying the offending line number.
     pub fn from_text(text: &str) -> Result<Checkpoint, MagellanError> {
-        let mut lines = text.lines().enumerate();
-        let (_, magic) = lines
-            .next()
-            .ok_or_else(|| corrupt(1, "empty checkpoint"))?;
+        // Magic first: "this is not a checkpoint at all" beats "this
+        // checkpoint has no checksum" as a diagnosis.
+        let magic = text.lines().next().ok_or_else(|| corrupt(1, "empty checkpoint"))?;
         if magic.trim() != "emckpt v1" {
             return Err(corrupt(1, format!("bad magic `{magic}`")));
         }
+        let payload = verify_checksum(text)?;
+        let mut lines = payload.lines().enumerate();
+        lines.next(); // magic, validated above
         let (_, phase_line) = lines
             .next()
             .ok_or_else(|| corrupt(2, "missing phase line"))?;
@@ -191,6 +204,59 @@ fn expect_end<'a>(
         Some((no, l)) => Err(corrupt(no + 1, format!("expected `end`, got `{l}`"))),
         None => Err(corrupt(0, "missing `end` terminator (truncated checkpoint)")),
     }
+}
+
+/// 64-bit FNV-1a over `bytes` — the tiny, dependency-free integrity hash
+/// behind every checkpoint's `sum fnv1a` trailer.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append a `sum fnv1a <16 hex>\n` trailer covering everything currently
+/// in `text`.
+pub fn append_checksum(text: &mut String) {
+    let sum = fnv1a(text.as_bytes());
+    text.push_str(&format!("sum fnv1a {sum:016x}\n"));
+}
+
+/// Validate the `sum fnv1a` trailer of a checkpoint text and return the
+/// payload it covers (everything before the trailer line). Missing,
+/// malformed, or mismatched checksums are fatal corruption errors — a
+/// mismatch is exactly what a torn write or tampered file looks like.
+pub fn verify_checksum(text: &str) -> Result<&str, MagellanError> {
+    let idx = text.rfind("sum fnv1a ").ok_or_else(|| {
+        corrupt(0, "missing `sum fnv1a` checksum trailer (truncated checkpoint)")
+    })?;
+    // The trailer must start a line, not hide inside one.
+    if idx > 0 && text.as_bytes()[idx - 1] != b'\n' {
+        return Err(corrupt(0, "checksum trailer not at start of line"));
+    }
+    let (payload, trailer) = text.split_at(idx);
+    let hex = trailer.trim_start_matches("sum fnv1a ").trim_end();
+    let stored = if hex.len() == 16 {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        None
+    };
+    let stored = stored.ok_or_else(|| {
+        corrupt(0, format!("malformed checksum trailer `{}`", trailer.trim_end()))
+    })?;
+    let computed = fnv1a(payload.as_bytes());
+    if computed != stored {
+        return Err(corrupt(
+            0,
+            format!(
+                "checksum mismatch: stored {hex}, computed {computed:016x} \
+                 (torn write or tampered checkpoint)"
+            ),
+        ));
+    }
+    Ok(payload)
 }
 
 fn corrupt(line: usize, msg: impl fmt::Display) -> MagellanError {
@@ -397,29 +463,122 @@ mod tests {
         assert_eq!(Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
     }
 
+    /// Appends a *correct* checksum trailer so tests can probe the
+    /// structural validation behind it.
+    fn with_sum(payload: &str) -> String {
+        let mut s = payload.to_string();
+        append_checksum(&mut s);
+        s
+    }
+
     #[test]
     fn corrupt_checkpoints_are_fatal_with_line_numbers() {
         for (text, needle) in [
-            ("", "empty"),
-            ("not a checkpoint\n", "bad magic"),
-            ("emckpt v1\n", "missing phase"),
-            ("emckpt v1\nphase warp\npairs 0\nend\n", "unknown phase"),
-            ("emckpt v1\nphase blocked\npairs two\nend\n", "pairs"),
-            ("emckpt v1\nphase blocked\npairs 2\n1 2\n", "truncated"),
-            ("emckpt v1\nphase blocked\npairs 1\n1 2 3\nend\n", "bad pair"),
-            ("emckpt v1\nphase blocked\npairs 1\nx y\nend\n", "bad pair"),
-            ("emckpt v1\nphase done\npairs 0\nend\n", "n_candidates"),
-            ("emckpt v1\nphase blocked\npairs 0\nEND\n", "expected `end`"),
+            (String::new(), "empty"),
+            ("not a checkpoint\n".into(), "bad magic"),
+            (with_sum("emckpt v1\n"), "missing phase"),
+            (with_sum("emckpt v1\nphase warp\npairs 0\nend\n"), "unknown phase"),
+            (with_sum("emckpt v1\nphase blocked\npairs two\nend\n"), "pairs"),
+            (with_sum("emckpt v1\nphase blocked\npairs 2\n1 2\n"), "truncated"),
+            (with_sum("emckpt v1\nphase blocked\npairs 1\n1 2 3\nend\n"), "bad pair"),
+            (with_sum("emckpt v1\nphase blocked\npairs 1\nx y\nend\n"), "bad pair"),
+            (with_sum("emckpt v1\nphase done\npairs 0\nend\n"), "n_candidates"),
+            (with_sum("emckpt v1\nphase blocked\npairs 0\nEND\n"), "expected `end`"),
+            // Checksum-layer failures.
+            ("emckpt v1\nphase blocked\npairs 0\nend\n".into(), "missing `sum fnv1a`"),
+            ("emckpt v1\nend\nsum fnv1a zz\n".into(), "malformed checksum"),
+            (
+                "emckpt v1\nphase blocked\npairs 0\nend\nsum fnv1a 0000000000000000\n".into(),
+                "checksum mismatch",
+            ),
         ] {
-            let err = Checkpoint::from_text(text).unwrap_err();
+            let err = Checkpoint::from_text(&text).unwrap_err();
             assert!(err.fatal(), "{text:?} should be fatal");
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
         }
         // Line numbers point at the offending line.
-        let err = Checkpoint::from_text("emckpt v1\nphase blocked\npairs 1\nbad\nend\n")
-            .unwrap_err();
+        let err =
+            Checkpoint::from_text(&with_sum("emckpt v1\nphase blocked\npairs 1\nbad\nend\n"))
+                .unwrap_err();
         assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn checksum_detects_truncation_and_tampering() {
+        let ck = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9), (11, 13)],
+            n_candidates: 42,
+        };
+        let text = ck.to_text();
+        assert!(text.contains("\nsum fnv1a "), "to_text must append a trailer");
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), ck);
+        // Every strict prefix is rejected — a torn write can never be
+        // mistaken for a complete checkpoint. (The final newline alone is
+        // cosmetic, so the loop stops one byte short of it.)
+        for cut in 1..text.len() - 1 {
+            assert!(
+                Checkpoint::from_text(&text[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        // Flipping one digit inside the pair list is caught by the
+        // checksum even though the result is structurally valid.
+        let tampered = text.replacen("5 9", "5 8", 1);
+        assert_ne!(tampered, text);
+        let err = Checkpoint::from_text(&tampered).unwrap_err();
+        assert!(err.fatal());
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // fnv1a is the reference function (pinned vector).
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn torn_write_through_flaky_store_is_detected_not_half_parsed() {
+        // An old checkpoint sits in the store; a crash mid-save splices
+        // the new text's head onto the old text's tail. Pre-checksum that
+        // hybrid parsed cleanly into a *wrong* resume state; now it is a
+        // precise fatal corruption error.
+        let old = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9)],
+            n_candidates: 42,
+        }
+        .to_text();
+        let new = Checkpoint::Done {
+            matches: vec![(3, 4), (6, 8)],
+            n_candidates: 43,
+        }
+        .to_text();
+        assert_eq!(old.len(), new.len(), "same shape so the splice stays line-valid");
+        // Tear inside the pair list: new header + first new pair, old tail.
+        let cut = new.find("3 4\n").unwrap() + 4;
+        let torn = format!("{}{}", &new[..cut], &old[cut..]);
+        let plan = FaultPlan {
+            io_error_per_mille: 1000,
+            ..FaultPlan::seeded(17)
+        };
+        let mut store = FlakyStore::new(MemStore::new(), plan);
+        // The save that tore: model it by placing the hybrid bytes in the
+        // inner store directly (FlakyStore injects errors, not bytes).
+        store.inner.save(&torn).unwrap();
+        let mut clock = magellan_faults::SimClock::new();
+        let loaded = magellan_faults::run_with_retry(
+            &magellan_faults::RetryPolicy::default(),
+            &mut clock,
+            |_| store.load(),
+        )
+        .expect("transient injected I/O converges under retry")
+        .expect("a checkpoint is present");
+        let err = Checkpoint::from_text(&loaded).unwrap_err();
+        assert!(err.fatal(), "torn write must be fatal, not retried");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Control: the same hybrid payload with a freshly computed trailer
+        // *would* parse — the checksum is what catches the tear.
+        let payload_end = torn.rfind("sum fnv1a ").unwrap();
+        let mut reblessed = torn[..payload_end].to_string();
+        append_checksum(&mut reblessed);
+        assert!(Checkpoint::from_text(&reblessed).is_ok());
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub enum MagellanError {
         /// Budget that was exceeded, seconds.
         budget_s: f64,
     },
+    /// The caller asked for an impossible configuration (zero scheduler
+    /// slots, zero-weight tenant, ...). Always fatal: retrying the same
+    /// configuration cannot succeed.
+    Config {
+        /// Human-readable description of the bad configuration.
+        message: String,
+    },
     /// The workflow was killed mid-run (used by the chaos suite to model
     /// process death between phases). The checkpoint on disk is the
     /// recovery path — rerunning resumes, so the kill itself is fatal for
@@ -66,6 +73,7 @@ impl MagellanError {
             MagellanError::Phase { transient, .. } => *transient,
             MagellanError::Checkpoint { transient, .. } => *transient,
             MagellanError::Timeout { .. } => true,
+            MagellanError::Config { .. } => false,
             MagellanError::Killed { .. } => false,
         }
     }
@@ -116,6 +124,9 @@ impl fmt::Display for MagellanError {
             }
             MagellanError::Timeout { what, budget_s } => {
                 write!(f, "{what} exceeded its {budget_s}s budget")
+            }
+            MagellanError::Config { message } => {
+                write!(f, "invalid configuration: {message}")
             }
             MagellanError::Killed { after_phase } => {
                 write!(f, "workflow killed after phase `{after_phase}` (checkpoint saved)")
@@ -179,6 +190,11 @@ mod tests {
         }
         .transient());
         assert!(MagellanError::Killed { after_phase: "blocking" }.fatal());
+        let e = MagellanError::Config {
+            message: "batch_slots must be >= 1".into(),
+        };
+        assert!(e.fatal());
+        assert!(e.to_string().contains("batch_slots"));
         let e = MagellanError::from(PersistError {
             line: 3,
             message: "bad".into(),

@@ -246,3 +246,250 @@ fn heavy_panic_storms_are_contained() {
         rec.recovery
     );
 }
+
+// ---------------------------------------------------------------------
+// Multi-tenant service chaos: the bit-identity contract of the
+// CloudMatcher service layer under overload, faults, and kills.
+// ---------------------------------------------------------------------
+
+use magellan_falcon::cloud::LabelingMode;
+use magellan_falcon::service::{
+    Admission, MatchService, Priority, ServiceConfig, SyntheticTask, TenantQuota, TenantSpec,
+    TenantSubmission, Workload,
+};
+use magellan_falcon::{FalconConfig, TaskSpec};
+use magellan_faults::ArrivalPlan;
+
+/// Build the standing 10-tenant overload: a fixed seeded arrival plan
+/// (independent of the fault seed, so admission is replayable), four
+/// real EM workloads over the shared scenario, five synthetic tasks,
+/// and one crowd tenant whose labeling estimate blows its quota.
+/// Concurrent demand (10 tenants inside a ~10-simulated-second window)
+/// is well over 2× what the service can hold (3 active + 4 queued).
+fn service_submissions<'a>(s: &'a EmScenario, n_workers: usize) -> Vec<TenantSubmission<'a>> {
+    let plan = ArrivalPlan::poisson(99, 10, 1.0);
+    (0..10u32)
+        .map(|i| {
+            let tenant = TenantSpec {
+                name: format!("t{i}"),
+                arrival_s: plan.arrival_s(i),
+                priority: Priority::from_class(plan.priority_class(i, 3)),
+                weight: plan.weight(i, 4),
+                quota: if i == 5 {
+                    // The crowd tenant: 250-question sample × 5 votes ×
+                    // $0.02 = $25 estimated, capped at $10.
+                    TenantQuota { label_dollars: 10.0, ..TenantQuota::unlimited() }
+                } else {
+                    TenantQuota::unlimited()
+                },
+                task_seed: 7000 + u64::from(i),
+            };
+            let workload = if i % 3 == 0 {
+                // Real EM workloads (tenants 0, 3, 6, 9).
+                Workload::Em(TaskSpec {
+                    name: format!("t{i}"),
+                    table_a: &s.table_a,
+                    table_b: &s.table_b,
+                    a_key: "id".into(),
+                    b_key: "id".into(),
+                    gold: &s.gold,
+                    labeling: LabelingMode::SingleUser { error_rate: 0.0 },
+                    on_cloud: true,
+                    falcon: FalconConfig {
+                        sample_size: 250,
+                        blocking_al: magellan_falcon::ActiveLearnConfig {
+                            n_workers,
+                            ..Default::default()
+                        },
+                        matching_al: magellan_falcon::ActiveLearnConfig {
+                            max_rounds: 15,
+                            n_workers,
+                            ..Default::default()
+                        },
+                        seed: 7000 + u64::from(i),
+                        ..Default::default()
+                    },
+                })
+            } else {
+                Workload::Synthetic(SyntheticTask {
+                    rows: (400, 400),
+                    questions_blocking: 50,
+                    questions_matching: 80,
+                    n_candidates: 8_000,
+                    crowd: i == 5,
+                    on_cloud: i % 2 == 0,
+                })
+            };
+            TenantSubmission { tenant, workload }
+        })
+        .collect()
+}
+
+fn service_config(faults: FaultPlan) -> ServiceConfig {
+    ServiceConfig {
+        batch_slots: 2,
+        crowd_slots: 1,
+        max_active_tenants: 3,
+        max_queue: 4,
+        faults,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn multi_tenant_overload_is_deterministic_across_workers_and_fault_seeds() {
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(25);
+
+    // Solo goldens: each tenant run alone (fault-free, one worker).
+    // The contract: any accepted tenant's outcome in the overloaded,
+    // fault-injected, N-worker service is byte-identical to this.
+    let solo_cfg = ServiceConfig { faults: FaultPlan::none(), ..service_config(FaultPlan::none()) };
+    let solo = MatchService::new(solo_cfg).expect("solo service");
+    let goldens: Vec<_> = service_submissions(&s, 1)
+        .into_iter()
+        .map(|sub| {
+            let sub = TenantSubmission {
+                tenant: TenantSpec { arrival_s: 0.0, ..sub.tenant },
+                workload: sub.workload,
+            };
+            let rep = solo.run(std::slice::from_ref(&sub)).expect("solo run");
+            rep.tenants[0].outcome.clone()
+        })
+        .collect();
+
+    let mut reference_rejections: Option<Vec<(usize, String)>> = None;
+    let mut reference_export: Option<String> = None;
+    for n_workers in [1usize, 2, 4, 8] {
+        let subs = service_submissions(&s, n_workers);
+        let svc = MatchService::new(service_config(FaultPlan::seeded(4242))).expect("service");
+
+        // Pinned clock: the obs export depends only on the simulated
+        // timeline, so it must be byte-identical across worker counts.
+        let obs = magellan_obs::Obs::pinned();
+        let report = {
+            let _g = obs.install();
+            svc.run(&subs).expect("overloaded service must complete")
+        };
+
+        // Admission/rejection decisions are a pure function of
+        // (arrival plan, quotas, capacity) — workers irrelevant.
+        let rejections = report.rejection_set();
+        assert!(
+            rejections.iter().any(|(i, r)| *i == 5 && r.contains("label_dollars")),
+            "the over-quota crowd tenant must be rejected: {rejections:?}"
+        );
+        assert!(
+            rejections.len() >= 3,
+            "10 tenants into 3+4 capacity must shed load: {rejections:?}"
+        );
+        match &reference_rejections {
+            None => reference_rejections = Some(rejections),
+            Some(r) => assert_eq!(&rejections, r, "{n_workers} workers changed admission"),
+        }
+
+        // Accepted outcomes: byte-identical to the solo goldens.
+        for (i, t) in report.accepted() {
+            assert_eq!(
+                t.outcome, goldens[i],
+                "tenant {i} at {n_workers} workers must match its solo run bit for bit"
+            );
+        }
+        assert_eq!(
+            report.telemetry.arrived, 10,
+            "every submission must be seen"
+        );
+
+        // Per-tenant SLO histograms and gauges: byte-identical export.
+        let export: String = obs
+            .snapshot()
+            .to_prometheus()
+            .lines()
+            .filter(|l| l.contains("magellan_service_"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            export.contains("magellan_service_fragment_latency_ms_count{tenant=\"t0\"}")
+                && export.contains("magellan_service_fragment_latency_p99_ms{tenant=\"t0\"}")
+                && export.contains("magellan_service_slo_ok{tenant=\"t0\"}"),
+            "per-tenant SLO histograms and gauges must be exported:\n{export}"
+        );
+        match &reference_export {
+            None => reference_export = Some(export),
+            Some(r) => assert_eq!(&export, r, "{n_workers} workers changed the pinned export"),
+        }
+    }
+
+    // Fault seeds shuffle failures, stragglers, and no-shows — never
+    // admission (single-user labeling keeps outcomes fault-free too).
+    let golden_rejections = reference_rejections.expect("reference set");
+    for seed in seeds().into_iter().take(4) {
+        let subs = service_submissions(&s, 2);
+        let svc = MatchService::new(service_config(FaultPlan::seeded(seed))).expect("service");
+        let report = svc.run(&subs).expect("fault-injected service must complete");
+        assert_eq!(
+            report.rejection_set(),
+            golden_rejections,
+            "seed {seed}: rejection set must be seed-stable"
+        );
+        for (i, t) in report.accepted() {
+            assert_eq!(t.outcome, goldens[i], "seed {seed}: tenant {i} outcome drifted");
+        }
+    }
+}
+
+#[test]
+fn service_kill_and_resume_mid_queue_is_bit_identical() {
+    magellan_core::par::silence_contained_panics();
+    let s = scenario(26);
+
+    for seed in seeds().into_iter().take(3) {
+        let plan = FaultPlan::seeded(seed);
+        let golden = MatchService::new(service_config(plan))
+            .expect("service")
+            .run(&service_submissions(&s, 2))
+            .expect("golden service run");
+
+        // Kill after the second fresh workload run: later tenants are
+        // still waiting in the admission queue at that point.
+        let mut store = FlakyStore::new(MemStore::new(), plan);
+        let killer = MatchService::new(ServiceConfig {
+            kill_after_tenants: Some(2),
+            ..service_config(plan)
+        })
+        .expect("service");
+        let err = killer
+            .run_with_checkpoint(&service_submissions(&s, 2), &mut store)
+            .expect_err("kill hook must fire");
+        let MagellanError::Killed { after_phase } = err else {
+            panic!("seed {seed}: expected Killed, got {err}");
+        };
+        assert_eq!(after_phase, "service");
+
+        // Resume against the flaky store: transparently retried I/O,
+        // restored runs, and a report identical to the uninterrupted one.
+        let resumed = MatchService::new(service_config(plan))
+            .expect("service")
+            .run_with_checkpoint(&service_submissions(&s, 2), &mut store)
+            .unwrap_or_else(|e| panic!("seed {seed}: resume must complete: {e}"));
+        assert_eq!(resumed.rejection_set(), golden.rejection_set(), "seed {seed}");
+        assert_eq!(
+            resumed.makespan_s.to_bits(),
+            golden.makespan_s.to_bits(),
+            "seed {seed}: resumed makespan must be bit-identical"
+        );
+        for (g, r) in golden.tenants.iter().zip(&resumed.tenants) {
+            assert_eq!(g.outcome, r.outcome, "seed {seed}");
+            assert_eq!(g.finish_s.to_bits(), r.finish_s.to_bits(), "seed {seed}");
+            assert_eq!(g.frag_p99_ms, r.frag_p99_ms, "seed {seed}");
+        }
+        // At least one queued tenant proves the kill hit mid-queue.
+        assert!(
+            golden
+                .tenants
+                .iter()
+                .any(|t| matches!(t.admission, Admission::AdmittedAfterQueue)),
+            "seed {seed}: the overload must actually queue tenants"
+        );
+    }
+}

@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use magellan_core::evaluate::evaluate_matches;
 use magellan_core::labeling::{Label, Labeler, OracleLabeler};
+use magellan_core::MagellanError;
 use magellan_faults::{FaultPlan, RetryPolicy};
 use magellan_ml::Metrics;
 use magellan_obs::EvVal;
@@ -28,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::workflow::{run_falcon, FalconConfig};
+use crate::workflow::{run_falcon, FalconConfig, FalconReport};
 
 /// The three CloudMatcher execution engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,7 +115,7 @@ pub struct TaskSpec<'a> {
 }
 
 /// Per-task accounting — one row of Table 2.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskOutcome {
     /// Task name.
     pub name: String,
@@ -365,6 +366,107 @@ impl Default for CloudMatcher {
     }
 }
 
+/// Everything the labeling phase of one task produced — shared by
+/// [`CloudMatcher::run_task`] (which accounts machine time by wall
+/// clock) and the multi-tenant service layer (which must account it on
+/// the simulated clock to stay bit-deterministic).
+pub(crate) struct LabelRun {
+    /// The Falcon run report.
+    pub report: FalconReport,
+    /// Total questions asked.
+    pub questions: usize,
+    /// Crowd fees paid (0 for single-user labeling).
+    pub crowd_cost: f64,
+    /// Simulated per-question round-trip latency.
+    pub per_q_latency_s: f64,
+    /// Which engine answered questions.
+    pub label_engine: Engine,
+    /// Crowd votes that never arrived.
+    pub no_shows: usize,
+    /// Questions degraded from the crowd to the submitting user.
+    pub degraded: usize,
+}
+
+/// Run the Falcon workflow for one task under the given labeling mode.
+/// A pure function of `(spec, seed, faults, cost model)` — every source
+/// of randomness is seeded — which is what makes a tenant's outcome in
+/// the service layer byte-identical to its solo run.
+pub(crate) fn execute_labeling(
+    spec: &TaskSpec<'_>,
+    seed: u64,
+    faults: FaultPlan,
+    cm: &CostModel,
+) -> magellan_table::Result<LabelRun> {
+    let oracle = OracleLabeler::new(spec.gold.clone(), &spec.a_key, &spec.b_key);
+    match spec.labeling {
+        LabelingMode::SingleUser { error_rate } => {
+            let mut labeler = UserLabeler {
+                oracle,
+                error_rate,
+                rng: StdRng::seed_from_u64(seed ^ 0x11),
+            };
+            let report =
+                run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
+            Ok(LabelRun {
+                questions: labeler.questions_asked(),
+                report,
+                crowd_cost: 0.0,
+                per_q_latency_s: cm.user_latency_s,
+                label_engine: Engine::UserInteraction,
+                no_shows: 0,
+                degraded: 0,
+            })
+        }
+        LabelingMode::Crowd { worker_error_rate } => {
+            let mut labeler = CrowdLabeler {
+                oracle,
+                votes: cm.crowd_votes,
+                worker_error_rate,
+                rng: StdRng::seed_from_u64(seed ^ 0x22),
+                fees: 0.0,
+                fee_per_vote: cm.crowd_fee_per_vote,
+                plan: faults,
+                next_question: 0,
+                no_shows: 0,
+                degraded: 0,
+            };
+            let report =
+                run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
+            Ok(LabelRun {
+                questions: labeler.questions_asked(),
+                crowd_cost: labeler.fees,
+                per_q_latency_s: cm.crowd_latency_s,
+                label_engine: Engine::Crowd,
+                no_shows: labeler.no_shows,
+                degraded: labeler.degraded,
+                report,
+            })
+        }
+    }
+}
+
+/// Score a Falcon match set against gold.
+pub(crate) fn score_matches(
+    spec: &TaskSpec<'_>,
+    report: &FalconReport,
+) -> magellan_table::Result<Metrics> {
+    evaluate_matches(
+        &report.matches,
+        spec.table_a,
+        spec.table_b,
+        &spec.a_key,
+        &spec.b_key,
+        spec.gold,
+    )
+}
+
+/// Stable FNV-1a hash of a task name, used to key task spans.
+pub(crate) fn name_key(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
 impl CloudMatcher {
     /// Run one task end to end; returns its Table 2 row and its DAG
     /// fragments for the metamanager.
@@ -374,80 +476,26 @@ impl CloudMatcher {
     ) -> magellan_table::Result<(TaskOutcome, Vec<Fragment>)> {
         // Key the task span by a stable hash of the task name so traces
         // of multi-task submissions keep one span per task.
-        let _task_span = magellan_obs::span(
-            "falcon_task",
-            spec.name
-                .bytes()
-                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
-                }),
-        );
+        let _task_span = magellan_obs::span("falcon_task", name_key(&spec.name));
         let cm = self.cost_model;
-        let oracle = OracleLabeler::new(spec.gold.clone(), &spec.a_key, &spec.b_key);
 
         let t0 = Instant::now();
-        let (report, questions, crowd_cost, per_q_latency, label_engine, no_shows, degraded) =
-            match spec.labeling {
-                LabelingMode::SingleUser { error_rate } => {
-                    let mut labeler = UserLabeler {
-                        oracle,
-                        error_rate,
-                        rng: StdRng::seed_from_u64(self.seed ^ 0x11),
-                    };
-                    let report =
-                        run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
-                    let q = labeler.questions_asked();
-                    (report, q, 0.0, cm.user_latency_s, Engine::UserInteraction, 0, 0)
-                }
-                LabelingMode::Crowd { worker_error_rate } => {
-                    let mut labeler = CrowdLabeler {
-                        oracle,
-                        votes: cm.crowd_votes,
-                        worker_error_rate,
-                        rng: StdRng::seed_from_u64(self.seed ^ 0x22),
-                        fees: 0.0,
-                        fee_per_vote: cm.crowd_fee_per_vote,
-                        plan: self.faults,
-                        next_question: 0,
-                        no_shows: 0,
-                        degraded: 0,
-                    };
-                    let report =
-                        run_falcon(spec.table_a, spec.table_b, &spec.a_key, &spec.b_key, &mut labeler, &spec.falcon)?;
-                    let q = labeler.questions_asked();
-                    (
-                        report,
-                        q,
-                        labeler.fees,
-                        cm.crowd_latency_s,
-                        Engine::Crowd,
-                        labeler.no_shows,
-                        labeler.degraded,
-                    )
-                }
-            };
+        let run = execute_labeling(spec, self.seed, self.faults, &cm)?;
         let machine_time_s = t0.elapsed().as_secs_f64();
 
-        let label_time_s = questions as f64 * per_q_latency;
+        let label_time_s = run.questions as f64 * run.per_q_latency_s;
         let compute_cost = if spec.on_cloud {
             machine_time_s / 3600.0 * cm.compute_dollars_per_hour
         } else {
             0.0
         };
-        let metrics: Metrics = evaluate_matches(
-            &report.matches,
-            spec.table_a,
-            spec.table_b,
-            &spec.a_key,
-            &spec.b_key,
-            spec.gold,
-        )?;
+        let metrics = score_matches(spec, &run.report)?;
 
-        let q_block_time = report.questions_blocking as f64 * per_q_latency;
-        let q_match_time = report.questions_matching as f64 * per_q_latency;
+        let q_block_time = run.report.questions_blocking as f64 * run.per_q_latency_s;
+        let q_match_time = run.report.questions_matching as f64 * run.per_q_latency_s;
         let fragments = vec![
             Fragment {
-                engine: label_engine,
+                engine: run.label_engine,
                 duration_s: q_block_time,
             },
             Fragment {
@@ -455,7 +503,7 @@ impl CloudMatcher {
                 duration_s: machine_time_s * 0.5,
             },
             Fragment {
-                engine: label_engine,
+                engine: run.label_engine,
                 duration_s: q_match_time,
             },
             Fragment {
@@ -468,14 +516,14 @@ impl CloudMatcher {
             rows: (spec.table_a.nrows(), spec.table_b.nrows()),
             precision: metrics.precision(),
             recall: metrics.recall(),
-            questions,
-            crowd_cost,
+            questions: run.questions,
+            crowd_cost: run.crowd_cost,
             compute_cost,
             label_time_s,
             machine_time_s,
-            n_candidates: report.n_candidates,
-            crowd_no_shows: no_shows,
-            crowd_degraded_questions: degraded,
+            n_candidates: run.report.n_candidates,
+            crowd_no_shows: run.no_shows,
+            crowd_degraded_questions: run.degraded,
         };
         Ok((outcome, fragments))
     }
@@ -513,7 +561,7 @@ impl CloudMatcher {
 }
 
 /// Simulated seconds → trace nanoseconds (saturating, NaN/∞-safe).
-fn sim_ns(s: f64) -> u64 {
+pub(crate) fn sim_ns(s: f64) -> u64 {
     if s.is_finite() && s > 0.0 {
         (s * 1e9).round() as u64
     } else {
@@ -522,7 +570,7 @@ fn sim_ns(s: f64) -> u64 {
 }
 
 /// Static span name for a fragment's engine.
-fn engine_span_name(e: Engine) -> &'static str {
+pub(crate) fn engine_span_name(e: Engine) -> &'static str {
     match e {
         Engine::UserInteraction => "frag_user",
         Engine::Crowd => "frag_crowd",
@@ -539,8 +587,31 @@ fn engine_span_name(e: Engine) -> &'static str {
 /// [`magellan_obs::record_span_at`] (key = `chain << 32 | index`), plus
 /// `magellan_falcon_schedule_*` gauges on the report totals.
 pub fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleReport {
+    // Zero slots is clamped here for backwards compatibility; callers
+    // that want the typed error use [`try_schedule_fragments`].
+    schedule_fragments_impl(chains, batch_slots.max(1))
+}
+
+/// [`schedule_fragments`] with configuration validation instead of
+/// clamping: `batch_slots == 0` is a fatal [`MagellanError::Config`],
+/// never a panic — there is no sensible schedule for a batch engine with
+/// no workers.
+pub fn try_schedule_fragments(
+    chains: &[Vec<Fragment>],
+    batch_slots: usize,
+) -> Result<ScheduleReport, MagellanError> {
+    if batch_slots == 0 {
+        return Err(MagellanError::Config {
+            message: "batch_slots must be >= 1 (the batch engine needs at least one worker)"
+                .into(),
+        });
+    }
+    Ok(schedule_fragments_impl(chains, batch_slots))
+}
+
+fn schedule_fragments_impl(chains: &[Vec<Fragment>], batch_slots: usize) -> ScheduleReport {
     let sched_span = magellan_obs::span("schedule", 0);
-    let batch_slots = batch_slots.max(1);
+    debug_assert!(batch_slots >= 1);
     let mut slot_free = vec![0.0f64; batch_slots];
     // (next fragment index, ready time) per chain.
     let mut next = vec![(0usize, 0.0f64); chains.len()];
@@ -578,14 +649,18 @@ pub fn schedule_fragments(chains: &[Vec<Fragment>], batch_slots: usize) -> Sched
         let frag = chains[c][i];
         let finish = start + frag.duration_s;
         if frag.engine == Engine::Batch {
-            // Occupy the earliest-free slot.
-            let slot = slot_free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .expect("at least one slot");
-            slot_free[slot] = finish;
+            // Occupy the earliest-free slot. A plain index fold — not
+            // `min_by(...).expect(...)` — so an empty slot vector could
+            // never panic even if the validation above were bypassed.
+            let mut slot = 0usize;
+            for (s, &free) in slot_free.iter().enumerate() {
+                if free < slot_free[slot] {
+                    slot = s;
+                }
+            }
+            if let Some(t) = slot_free.get_mut(slot) {
+                *t = finish;
+            }
         }
         *busy.entry(frag.engine).or_insert(0.0) += frag.duration_s;
         magellan_obs::record_span_at(
@@ -656,7 +731,7 @@ impl Default for ScheduleRecoveryOptions {
 /// failed attempts, backoff, timeouts, degradation, and speculation.
 /// Returns the resolved fragment plus extra batch busy-seconds burned by
 /// a speculative backup copy.
-fn resolve_fragment(
+pub(crate) fn resolve_fragment(
     task: u64,
     fid: u64,
     frag: Fragment,
@@ -771,6 +846,30 @@ fn resolve_fragment(
 /// abandoned (rerouted to the submitting user). With
 /// [`FaultPlan::none`] the result is identical to the plain scheduler.
 pub fn schedule_fragments_with_recovery(
+    chains: &[Vec<Fragment>],
+    batch_slots: usize,
+    opts: &ScheduleRecoveryOptions,
+) -> ScheduleReport {
+    schedule_fragments_with_recovery_impl(chains, batch_slots.max(1), opts)
+}
+
+/// [`schedule_fragments_with_recovery`] with `batch_slots` validation
+/// instead of clamping (see [`try_schedule_fragments`]).
+pub fn try_schedule_fragments_with_recovery(
+    chains: &[Vec<Fragment>],
+    batch_slots: usize,
+    opts: &ScheduleRecoveryOptions,
+) -> Result<ScheduleReport, MagellanError> {
+    if batch_slots == 0 {
+        return Err(MagellanError::Config {
+            message: "batch_slots must be >= 1 (the batch engine needs at least one worker)"
+                .into(),
+        });
+    }
+    Ok(schedule_fragments_with_recovery_impl(chains, batch_slots, opts))
+}
+
+fn schedule_fragments_with_recovery_impl(
     chains: &[Vec<Fragment>],
     batch_slots: usize,
     opts: &ScheduleRecoveryOptions,
@@ -932,6 +1031,33 @@ mod tests {
         assert!((rep.interleaved_makespan_s - 40.0).abs() < 1e-9);
         let rep = schedule_fragments(&chains, 4);
         assert!((rep.interleaved_makespan_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_batch_slots_is_a_typed_error_never_a_panic() {
+        let chains = vec![vec![Fragment {
+            engine: Engine::Batch,
+            duration_s: 10.0,
+        }]];
+        let err = try_schedule_fragments(&chains, 0).unwrap_err();
+        assert!(matches!(err, MagellanError::Config { .. }), "{err}");
+        assert!(err.fatal(), "bad configuration is not retryable");
+        assert!(err.to_string().contains("batch_slots"), "{err}");
+        let err = try_schedule_fragments_with_recovery(
+            &chains,
+            0,
+            &ScheduleRecoveryOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MagellanError::Config { .. }), "{err}");
+        // The clamping legacy entry points still accept 0 and treat it
+        // as one slot.
+        let rep = schedule_fragments(&chains, 0);
+        assert_eq!(rep.batch_slots, 1);
+        assert!((rep.interleaved_makespan_s - 10.0).abs() < 1e-9);
+        // And the validated path agrees with the plain one when valid.
+        let ok = try_schedule_fragments(&chains, 2).unwrap();
+        assert_eq!(ok.interleaved_makespan_s, schedule_fragments(&chains, 2).interleaved_makespan_s);
     }
 
     #[test]

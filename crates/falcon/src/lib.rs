@@ -20,6 +20,11 @@
 //!   *metamanager* that interleaves fragments across workflows, and the
 //!   cost/latency accounting behind Table 2's crowd-$, compute-$ and time
 //!   columns.
+//! * [`service`] — the multi-tenant CloudMatcher service core: admission
+//!   control against Table 2 budget currencies, weighted fair-share +
+//!   priority scheduling of DAG fragments across the three engines, and
+//!   policy-driven graceful degradation (shed crowd → disable
+//!   speculation → downgrade priority), all bit-deterministic.
 //! * [`services`] — the Table 4 service registry (basic + composite).
 //! * [`smurf`] — Smurf-lite: learning blocking rules *without* labels via
 //!   confident pseudo-labels, reproducing the §5.3 claim of a 43–76%
@@ -30,14 +35,23 @@
 pub mod active;
 pub mod cloud;
 pub mod rules;
+pub mod service;
 pub mod services;
 pub mod smurf;
 pub mod workflow;
 
 pub use active::{active_learn, ActiveLearnConfig, ActiveLearnOutcome};
 pub use cloud::{
-    schedule_fragments, schedule_fragments_with_recovery, CloudMatcher, CostModel, Engine,
-    Fragment, ScheduleRecoveryOptions, ScheduleReport, ScheduleTelemetry, TaskOutcome,
+    schedule_fragments, schedule_fragments_with_recovery, try_schedule_fragments,
+    try_schedule_fragments_with_recovery, CloudMatcher, CostModel, Engine, Fragment,
+    LabelingMode, ScheduleRecoveryOptions, ScheduleReport, ScheduleTelemetry, TaskOutcome,
+    TaskSpec,
+};
+pub use service::{
+    estimate_workload, Admission, DegradationPolicy, DegradationRule, DegradeAction,
+    DegradeTrigger, MatchService, Priority, RejectReason, ServiceConfig, ServiceCostModel,
+    ServiceReport, ServiceTelemetry, SyntheticTask, TenantQuota, TenantReport, TenantSpec,
+    TenantSubmission, Workload, WorkloadEstimate,
 };
 pub use rules::{extract_blocking_rules, ExtractedRule};
 pub use workflow::{run_falcon, FalconConfig, FalconReport};

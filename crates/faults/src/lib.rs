@@ -68,6 +68,9 @@ pub enum FaultKind {
     StragglerDelay,
     /// A transient I/O error (checkpoint write, table read).
     TransientIo,
+    /// A whole tenant's workflow activation fails transiently (their
+    /// session drops, their upload stalls) before any fragment runs.
+    TenantFailure,
 }
 
 impl FaultKind {
@@ -78,6 +81,7 @@ impl FaultKind {
             FaultKind::CrowdNoShow => 0x03,
             FaultKind::StragglerDelay => 0x04,
             FaultKind::TransientIo => 0x05,
+            FaultKind::TenantFailure => 0x06,
         }
     }
 }
@@ -104,6 +108,10 @@ pub struct FaultPlan {
     pub straggler_factor_x100: u32,
     /// Per-mille probability an I/O operation fails transiently.
     pub io_error_per_mille: u32,
+    /// Per-mille probability a tenant's workflow activation fails
+    /// transiently (retried by the service layer like any other
+    /// transient fault).
+    pub tenant_failure_per_mille: u32,
     /// Upper bound on *consecutive* injected failures at one site. A site
     /// that draws "faulty" fails attempts `0..k` for a per-site
     /// `k ≤ max_failures_per_site`, then succeeds forever — so any
@@ -122,6 +130,7 @@ impl FaultPlan {
             straggler_per_mille: 0,
             straggler_factor_x100: 100,
             io_error_per_mille: 0,
+            tenant_failure_per_mille: 0,
             max_failures_per_site: 0,
         }
     }
@@ -138,6 +147,7 @@ impl FaultPlan {
             straggler_per_mille: 200,
             straggler_factor_x100: 800,
             io_error_per_mille: 150,
+            tenant_failure_per_mille: 150,
             max_failures_per_site: 2,
         }
     }
@@ -149,6 +159,7 @@ impl FaultPlan {
             && self.crowd_no_show_per_mille == 0
             && self.straggler_per_mille == 0
             && self.io_error_per_mille == 0
+            && self.tenant_failure_per_mille == 0
     }
 
     /// How many consecutive attempts fail at the site identified by `ids`
@@ -223,6 +234,18 @@ impl FaultPlan {
         attempt < self.site_failures(FaultKind::TransientIo, self.io_error_per_mille, &[op])
     }
 
+    /// Does attempt `attempt` of activating tenant `tenant`'s workflow
+    /// fail transiently? Bounded per tenant like every other site, so a
+    /// retrying service always converges.
+    pub fn tenant_fails(&self, tenant: u64, attempt: u32) -> bool {
+        attempt
+            < self.site_failures(
+                FaultKind::TenantFailure,
+                self.tenant_failure_per_mille,
+                &[tenant],
+            )
+    }
+
     /// The chunk-level slice of this plan for `region`, as the plain-data
     /// injector `magellan-par` carries inside its `ParConfig`.
     pub fn chunk_faults(&self, region: u64) -> ChunkFaults {
@@ -273,6 +296,90 @@ impl ChunkFaults {
             ..FaultPlan::none()
         }
         .chunk_panics(self.region, chunk, attempt)
+    }
+}
+
+/// A seeded, deterministic tenant arrival plan on the simulated clock.
+///
+/// CloudMatcher is a *multi-tenant* self-service system: Table 2 of the
+/// paper reports 13 concurrent EM tasks in flight. The service layer
+/// replays that traffic on a [`SimClock`] timeline, and this plan is the
+/// pure description of it: tenant `i` arrives at `arrival_s(i)` (the
+/// cumulative sum of seeded exponential-ish interarrival gaps), with a
+/// seeded priority class and fair-share weight. Every draw is a hash of
+/// `(seed, tag, tenant)`, so the plan is identical across runs,
+/// processes, and worker counts — which is what makes the service's
+/// admission/rejection set a pure function of `(seed, plan, quotas)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPlan {
+    /// Master seed for all draws.
+    pub seed: u64,
+    /// Number of tenants the plan describes.
+    pub n_tenants: u32,
+    /// Mean interarrival gap, simulated seconds.
+    pub mean_interarrival_s: f64,
+}
+
+impl ArrivalPlan {
+    /// Domain-separation tag for arrival-gap draws.
+    const GAP_TAG: u64 = 0xA221_7A1C_0FFE_E001;
+    /// Domain-separation tag for priority-class draws.
+    const PRIO_TAG: u64 = 0xA221_7A1C_0FFE_E002;
+    /// Domain-separation tag for fair-share-weight draws.
+    const WEIGHT_TAG: u64 = 0xA221_7A1C_0FFE_E003;
+
+    /// A plan with `n_tenants` arrivals whose gaps average
+    /// `mean_interarrival_s` simulated seconds.
+    pub fn poisson(seed: u64, n_tenants: u32, mean_interarrival_s: f64) -> Self {
+        ArrivalPlan {
+            seed,
+            n_tenants,
+            mean_interarrival_s: mean_interarrival_s.max(0.0),
+        }
+    }
+
+    /// The seeded interarrival gap *before* tenant `tenant`, simulated
+    /// seconds: an inverse-CDF exponential draw, so gaps are memoryless
+    /// like real self-service traffic but perfectly replayable.
+    pub fn gap_s(&self, tenant: u32) -> f64 {
+        let u = unit(mix(self.seed ^ Self::GAP_TAG, &[u64::from(tenant)]));
+        // u ∈ [0, 1) ⇒ 1 - u ∈ (0, 1] ⇒ the log is finite and ≤ 0.
+        -self.mean_interarrival_s * (1.0 - u).ln()
+    }
+
+    /// Arrival time of tenant `tenant` (0-based), simulated seconds:
+    /// cumulative sum of the gaps up to and including theirs.
+    pub fn arrival_s(&self, tenant: u32) -> f64 {
+        (0..=tenant.min(self.n_tenants.saturating_sub(1)))
+            .map(|i| self.gap_s(i))
+            .sum()
+    }
+
+    /// All arrival times in tenant order (non-decreasing by construction).
+    pub fn arrivals(&self) -> Vec<f64> {
+        let mut t = 0.0;
+        (0..self.n_tenants)
+            .map(|i| {
+                t += self.gap_s(i);
+                t
+            })
+            .collect()
+    }
+
+    /// Seeded priority class for tenant `tenant` in `0..classes` (higher
+    /// is more urgent). `classes == 0` always yields `0`.
+    pub fn priority_class(&self, tenant: u32, classes: u32) -> u32 {
+        if classes == 0 {
+            return 0;
+        }
+        (mix(self.seed ^ Self::PRIO_TAG, &[u64::from(tenant)]) % u64::from(classes)) as u32
+    }
+
+    /// Seeded fair-share weight for tenant `tenant` in `1..=max_weight`
+    /// (never zero — a zero weight would starve the tenant forever).
+    pub fn weight(&self, tenant: u32, max_weight: u32) -> u32 {
+        let m = max_weight.max(1);
+        1 + (mix(self.seed ^ Self::WEIGHT_TAG, &[u64::from(tenant)]) % u64::from(m)) as u32
     }
 }
 
@@ -556,6 +663,63 @@ mod tests {
         }
         // ~20% per-mille straggler rate.
         assert!(slow > 100 && slow < 350, "{slow} stragglers");
+    }
+
+    #[test]
+    fn tenant_failures_are_bounded_and_seed_stable() {
+        let p = FaultPlan::seeded(21);
+        let q = FaultPlan::seeded(21);
+        let mut faulty = 0;
+        for t in 0..500u64 {
+            assert_eq!(p.tenant_fails(t, 0), q.tenant_fails(t, 0));
+            // Converges after max_failures_per_site attempts.
+            assert!(!p.tenant_fails(t, p.max_failures_per_site));
+            if p.tenant_fails(t, 0) {
+                faulty += 1;
+            }
+        }
+        // ~15% per-mille rate.
+        assert!(faulty > 30 && faulty < 150, "{faulty} faulty tenants");
+        assert!(!FaultPlan::none().tenant_fails(0, 0));
+        // Enabling tenant failures alone makes the plan non-none.
+        let only_tenants = FaultPlan {
+            tenant_failure_per_mille: 100,
+            max_failures_per_site: 1,
+            ..FaultPlan::none()
+        };
+        assert!(!only_tenants.is_none());
+    }
+
+    #[test]
+    fn arrival_plans_are_deterministic_monotone_and_seed_sensitive() {
+        let a = ArrivalPlan::poisson(5, 16, 30.0);
+        let b = ArrivalPlan::poisson(5, 16, 30.0);
+        let c = ArrivalPlan::poisson(6, 16, 30.0);
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_ne!(a.arrivals(), c.arrivals());
+        let ts = a.arrivals();
+        assert_eq!(ts.len(), 16);
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "arrivals must be non-decreasing");
+        }
+        assert!(ts.iter().all(|t| t.is_finite() && *t >= 0.0));
+        // Per-tenant accessor agrees with the bulk listing.
+        for (i, t) in ts.iter().enumerate() {
+            assert_eq!(a.arrival_s(i as u32), *t);
+        }
+        // Mean gap lands in a plausible band around the configured mean.
+        let mean = ts.last().unwrap() / 16.0;
+        assert!(mean > 5.0 && mean < 120.0, "mean gap {mean}");
+        // Priority and weight draws are in range and deterministic.
+        for t in 0..16 {
+            assert!(a.priority_class(t, 3) < 3);
+            assert_eq!(a.priority_class(t, 3), b.priority_class(t, 3));
+            let w = a.weight(t, 4);
+            assert!((1..=4).contains(&w));
+            assert_eq!(w, b.weight(t, 4));
+        }
+        assert_eq!(a.priority_class(0, 0), 0);
+        assert!(a.weight(0, 0) >= 1);
     }
 
     #[test]

@@ -85,6 +85,30 @@ impl Histogram {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// The `q`-quantile of the recorded samples, reported as the
+    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// sample (the same `le` the Prometheus export would show). `q` is
+    /// clamped to `[0, 1]`; an empty histogram reports `0`.
+    ///
+    /// Because the answer is a pure function of the bucket counts it is
+    /// deterministic and merge-stable: quantiles of a merged histogram
+    /// depend only on the elementwise totals, never on merge order.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return Self::bucket_le(k);
+            }
+        }
+        Self::bucket_le(N_BUCKETS - 1)
+    }
 }
 
 /// One named metric in the registry.
@@ -131,6 +155,45 @@ mod tests {
         // le(k) is the largest value mapping to bucket k.
         for k in 0..N_BUCKETS {
             assert_eq!(Histogram::bucket_index(Histogram::bucket_le(k)), k);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram reports 0");
+        // 90 samples of value 5 (bucket le=7), 10 samples of 100 (le=127).
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.90), 7);
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 127);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        // Merge-stability: quantiles of a merged histogram match the
+        // histogram built from the concatenated stream.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1u64, 2, 3, 900] {
+            a.record(v);
+        }
+        for v in [10u64, 40, 0, 7] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut whole = Histogram::default();
+        for v in [1u64, 2, 3, 900, 10, 40, 0, 7] {
+            whole.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q));
         }
     }
 
