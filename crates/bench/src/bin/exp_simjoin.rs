@@ -61,20 +61,56 @@ fn make_strings(n: usize, seed: u64, vocab: usize, skew: f64) -> Vec<Option<Stri
         .collect()
 }
 
+/// Long records (120–167 tokens) for the size-skew grid: probing a short
+/// record against these puts a ≥16× length ratio on the verification
+/// operands, the shape the galloping kernel exists for.
+fn make_long_strings(n: usize, seed: u64, vocab: usize) -> Vec<Option<String>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|_| {
+            let k = 120 + (next() % 48) as usize;
+            Some(
+                (0..k)
+                    .map(|_| format!("tok{}", next() as usize % vocab))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        })
+        .collect()
+}
+
 struct Grid {
     name: &'static str,
     skew: f64,
     threshold: f64,
+    measure: fn(f64) -> SetSimMeasure,
+    measure_name: &'static str,
+    vocab: usize,
+    /// Shrink the right side to long records (`n / 25` of them): total
+    /// tokens stay below the left side's, so Auto probes short-vs-long.
+    long_right: bool,
 }
 
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let n = if smoke { 400 } else { 4000 };
     let reps = if smoke { 2 } else { 5 };
+    let jaccard: fn(f64) -> SetSimMeasure = SetSimMeasure::Jaccard;
+    let overlap: fn(f64) -> SetSimMeasure = |t| SetSimMeasure::OverlapSize(t as usize);
     let grids = [
-        Grid { name: "skewed", skew: 3.0, threshold: 0.7 },
-        Grid { name: "skewed_loose", skew: 3.0, threshold: 0.5 },
-        Grid { name: "uniform", skew: 0.0, threshold: 0.7 },
+        Grid { name: "skewed", skew: 3.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
+        Grid { name: "skewed_loose", skew: 3.0, threshold: 0.5, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
+        Grid { name: "uniform", skew: 0.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
+        // ≥16× record-length skew: 3–8-token probes against 120–167-token
+        // indexed records. Regression guard for the galloping verify
+        // kernel — the symmetric grids above never reach the gallop ratio.
+        Grid { name: "size_skew16", skew: 0.0, threshold: 2.0, measure: overlap, measure_name: "overlap_size", vocab: 4000, long_right: true },
     ];
     let tok = WhitespaceTokenizer::new();
 
@@ -91,10 +127,14 @@ fn main() {
 
     let mut skewed_speedup_w1 = 0.0;
     for grid in &grids {
-        let left = make_strings(n, 101, 800, grid.skew);
-        let right = make_strings(n, 103, 800, grid.skew);
+        let left = make_strings(n, 101, grid.vocab, grid.skew);
+        let right = if grid.long_right {
+            make_long_strings((n / 25).max(8), 103, grid.vocab)
+        } else {
+            make_strings(n, 103, grid.vocab, grid.skew)
+        };
         let coll = TokenizedCollection::build(&left, &right, &tok);
-        let measure = SetSimMeasure::Jaccard(grid.threshold);
+        let measure = (grid.measure)(grid.threshold);
 
         // Bit-identity check before timing anything: pair set, order,
         // and exact f64 similarities must match the seed engine.
@@ -106,12 +146,20 @@ fn main() {
             assert_eq!(cp.sim.to_bits(), hp.sim.to_bits(), "CSR similarity diverged");
         }
         let n_pairs = csr_pairs.len();
+        if grid.long_right {
+            // The whole point of this grid: the ≥16× operand skew must
+            // actually reach the galloping kernel.
+            assert!(
+                stats.kernel_gallop > 0,
+                "size-skew grid never fired the gallop kernel"
+            );
+        }
 
         writeln!(txt).unwrap();
         writeln!(
             txt,
-            "[{}] skew={} threshold={} |pairs|={n_pairs}",
-            grid.name, grid.skew, grid.threshold
+            "[{}] skew={} {}={} |pairs|={n_pairs}",
+            grid.name, grid.skew, grid.measure_name, grid.threshold
         )
         .unwrap();
         writeln!(
@@ -190,6 +238,25 @@ fn main() {
             )
             .unwrap();
         }
+        // Per-worker busy-time evidence for the multi-worker analysis in
+        // EXPERIMENTS.md: on a 1-core host the busy sum exceeding the
+        // wall clock is the threading-overhead ceiling made visible.
+        let (_, pstats) =
+            join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &ParConfig::workers(4));
+        let busy: Vec<String> = pstats
+            .worker_busy
+            .iter()
+            .map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3))
+            .collect();
+        writeln!(
+            txt,
+            "w=4 evidence: busy=[{}] utilization={:.0}% chunks={} steals={}",
+            busy.join(", "),
+            100.0 * pstats.utilization(),
+            pstats.chunks_total,
+            pstats.chunks_stolen,
+        )
+        .unwrap();
         if grid.name == "skewed" {
             skewed_speedup_w1 = speedup_w1;
         }
@@ -198,10 +265,12 @@ fn main() {
         }
         write!(
             json_grids,
-            "    {{\"grid\": \"{}\", \"skew\": {}, \"threshold\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2}, \"kernel_speedup_w1\": {kernel_speedup:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"kernel_merge\": {}, \"kernel_gallop\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
+            "    {{\"grid\": \"{}\", \"skew\": {}, \"measure\": \"{}\", \"threshold\": {}, \"vocab\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2}, \"kernel_speedup_w1\": {kernel_speedup:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"kernel_merge\": {}, \"kernel_gallop\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
             grid.name,
             grid.skew,
+            grid.measure_name,
             grid.threshold,
+            grid.vocab,
             stats.probes,
             stats.candidates,
             stats.killed_by_size,

@@ -55,6 +55,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod rules;
 pub mod sample;
+pub mod stream;
 pub mod workflow;
 
 pub use magellan_par as par;
@@ -68,4 +69,5 @@ pub use error::MagellanError;
 pub use labeling::{Label, Labeler, NoisyLabeler, OracleLabeler, RecordingLabeler};
 pub use pipeline::{DevConfig, DevReport};
 pub use rules::{Cmp, MatchRule, RuleAction, RuleLayer};
+pub use stream::{StreamBatchReport, StreamSession, TextGen};
 pub use workflow::EmWorkflow;

@@ -582,9 +582,174 @@ pub fn run_with_retry<T, E: Transience>(
     }
 }
 
+/// One step of a seeded record stream: what the `step`-th mutation does,
+/// abstractly. The plan decides *kind*, *side*, and *selector words*; the
+/// streaming layer maps selectors onto its current alive population and
+/// text generator, so the plan stays a pure leaf with no EM dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Append a fresh record.
+    Insert {
+        /// Target the left collection (else right).
+        left: bool,
+    },
+    /// Tombstone an existing record; `victim` is a raw selector word the
+    /// caller reduces modulo its alive count.
+    Delete {
+        /// Target the left collection (else right).
+        left: bool,
+        /// Raw victim-selector word.
+        victim: u64,
+    },
+    /// Rewrite an existing record's text in place.
+    Update {
+        /// Target the left collection (else right).
+        left: bool,
+        /// Raw victim-selector word.
+        victim: u64,
+    },
+}
+
+/// A seeded, pure description of an unbounded record-mutation stream —
+/// the streaming analog of [`FaultPlan`]. Step `t`'s op is a hash of
+/// `(seed, t)` alone, so a daemon killed at step `k` and resumed from a
+/// checkpoint replays steps `k..` **identically**: determinism of the
+/// incremental tier's live view reduces to determinism of this plan plus
+/// the engine's own worker-invariance contract.
+///
+/// Kind probabilities are per-mille; whatever `insert + delete` leaves of
+/// 1000 is the update rate. Mixes use distinct tag constants from every
+/// [`FaultKind`] stream, so fault and stream plans sharing a seed stay
+/// independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamPlan {
+    /// Master seed; different seeds give independent streams.
+    pub seed: u64,
+    /// Per-mille probability a step inserts a fresh record.
+    pub insert_per_mille: u32,
+    /// Per-mille probability a step deletes an existing record.
+    pub delete_per_mille: u32,
+    /// Per-mille probability a step targets the left collection.
+    pub left_per_mille: u32,
+}
+
+/// Tag constants keeping the stream's three decision sub-streams (kind,
+/// side, victim/text words) disjoint from each other and from fault
+/// decisions.
+const STREAM_KIND_TAG: u64 = 0x11;
+const STREAM_SIDE_TAG: u64 = 0x12;
+const STREAM_VICTIM_TAG: u64 = 0x13;
+const STREAM_TEXT_TAG: u64 = 0x14;
+
+impl StreamPlan {
+    /// The standard churn mix used by the incremental suites: 30%
+    /// inserts, 20% deletes, 50% in-place updates, sides balanced.
+    pub fn churn(seed: u64) -> Self {
+        StreamPlan {
+            seed,
+            insert_per_mille: 300,
+            delete_per_mille: 200,
+            left_per_mille: 500,
+        }
+    }
+
+    /// An insert-only plan (pure growth — no tombstones, no compaction
+    /// pressure); useful as the streaming baseline.
+    pub fn insert_only(seed: u64) -> Self {
+        StreamPlan {
+            seed,
+            insert_per_mille: 1000,
+            delete_per_mille: 0,
+            left_per_mille: 500,
+        }
+    }
+
+    /// The `step`-th mutation of the stream (0-based), decided purely
+    /// from `(seed, step)`.
+    pub fn op(&self, step: u64) -> StreamOp {
+        let left = unit(mix(self.seed ^ STREAM_SIDE_TAG.wrapping_mul(0xA24BAED4963EE407), &[step]))
+            < self.left_per_mille as f64 / 1000.0;
+        let kind =
+            unit(mix(self.seed ^ STREAM_KIND_TAG.wrapping_mul(0xA24BAED4963EE407), &[step]));
+        let insert_p = self.insert_per_mille as f64 / 1000.0;
+        let delete_p = self.delete_per_mille as f64 / 1000.0;
+        if kind < insert_p {
+            StreamOp::Insert { left }
+        } else if kind < insert_p + delete_p {
+            StreamOp::Delete {
+                left,
+                victim: self.victim_word(step),
+            }
+        } else {
+            StreamOp::Update {
+                left,
+                victim: self.victim_word(step),
+            }
+        }
+    }
+
+    /// The raw victim-selector word for `step` (callers reduce modulo the
+    /// alive population at apply time).
+    pub fn victim_word(&self, step: u64) -> u64 {
+        mix(self.seed ^ STREAM_VICTIM_TAG.wrapping_mul(0xA24BAED4963EE407), &[step])
+    }
+
+    /// A per-step seed for generating the inserted/updated record text.
+    pub fn text_seed(&self, step: u64) -> u64 {
+        mix(self.seed ^ STREAM_TEXT_TAG.wrapping_mul(0xA24BAED4963EE407), &[step])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_plan_is_deterministic_and_mixes_kinds() {
+        let p = StreamPlan::churn(42);
+        let q = StreamPlan::churn(42);
+        let mut inserts = 0;
+        let mut deletes = 0;
+        let mut updates = 0;
+        let mut lefts = 0;
+        for t in 0..1000 {
+            assert_eq!(p.op(t), q.op(t), "same seed must replay identically");
+            match p.op(t) {
+                StreamOp::Insert { left } => {
+                    inserts += 1;
+                    lefts += usize::from(left);
+                }
+                StreamOp::Delete { left, victim } => {
+                    deletes += 1;
+                    lefts += usize::from(left);
+                    assert_eq!(victim, p.victim_word(t));
+                }
+                StreamOp::Update { left, .. } => {
+                    updates += 1;
+                    lefts += usize::from(left);
+                }
+            }
+        }
+        // ~300/200/500 per mille with generous slack.
+        assert!((200..400).contains(&inserts), "inserts={inserts}");
+        assert!((100..300).contains(&deletes), "deletes={deletes}");
+        assert!((400..600).contains(&updates), "updates={updates}");
+        assert!((400..600).contains(&lefts), "lefts={lefts}");
+
+        let r = StreamPlan::churn(43);
+        let diverges = (0..100).any(|t| p.op(t) != r.op(t));
+        assert!(diverges, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn insert_only_never_deletes_and_text_seeds_differ() {
+        let p = StreamPlan::insert_only(7);
+        for t in 0..200 {
+            assert!(matches!(p.op(t), StreamOp::Insert { .. }));
+        }
+        assert_ne!(p.text_seed(0), p.text_seed(1));
+        assert_ne!(p.text_seed(0), p.victim_word(0));
+    }
 
     #[test]
     fn plans_are_deterministic_and_seed_sensitive() {

@@ -43,5 +43,5 @@ pub use fvtable::{
     extract_feature_matrix, extract_feature_matrix_par, extract_feature_matrix_scalar,
     extract_feature_matrix_scalar_par, FeatureMatrix,
 };
-pub use prepared::{extract_with_prepared, FeaturePlan, PreparedPair};
+pub use prepared::{extract_with_prepared, FeaturePlan, PreparedPair, StreamingPreparedPair};
 pub use types::{infer_attr_type, AttrType};

@@ -35,7 +35,7 @@
 use std::collections::HashMap;
 
 use magellan_par::{CacheStats, ParConfig, ParStats};
-use magellan_table::Table;
+use magellan_table::{Table, Value};
 use magellan_textsim::intern::{self, TokenInterner};
 use magellan_textsim::tokenize::{AlphanumericTokenizer, Tokenizer};
 use magellan_textsim::{numeric, seqsim, setsim};
@@ -130,6 +130,121 @@ impl PreparedSide {
             self.cols.len() - 1
         })
     }
+
+    /// Grow every combination's cell vector to cover `nrows` records
+    /// (appended records start unprepared).
+    fn ensure_rows(&mut self, nrows: usize) {
+        for c in &mut self.cols {
+            if c.cells.len() < nrows {
+                c.cells.resize(nrows, None);
+            }
+        }
+    }
+
+    /// Drop every prepared shape of one record — the per-record dirty
+    /// granularity of the streaming tier. Returns the number of cells
+    /// actually cleared (0 = the record was never prepared).
+    fn invalidate(&mut self, rid: usize) -> usize {
+        let mut cleared = 0;
+        for c in &mut self.cols {
+            if let Some(cell) = c.cells.get_mut(rid) {
+                if cell.take().is_some() {
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
+    }
+}
+
+/// Resolve a feature list against two schemas, registering slots — the
+/// shared core of [`PreparedPair::plan`] and [`StreamingPreparedPair`].
+fn plan_features(
+    a: &Table,
+    b: &Table,
+    left: &mut PreparedSide,
+    right: &mut PreparedSide,
+    features: &[Feature],
+) -> magellan_table::Result<FeaturePlan> {
+    let mut entries = Vec::with_capacity(features.len());
+    let mut n_token_features = 0;
+    for f in features {
+        let li = a.schema().try_index_of(&f.l_attr)?;
+        let ri = b.schema().try_index_of(&f.r_attr)?;
+        let spec = PrepSpec::of(f.kind);
+        if spec.tokenizes() {
+            n_token_features += 1;
+        }
+        entries.push(PlanEntry {
+            kind: f.kind,
+            l_slot: left.slot(li, spec, a.nrows()),
+            r_slot: right.slot(ri, spec, b.nrows()),
+        });
+    }
+    Ok(FeaturePlan {
+        entries,
+        names: features.iter().map(|f| f.name.clone()).collect(),
+        n_token_features,
+    })
+}
+
+/// Prepare every record the pairs reference for every slot the plan
+/// reads — shared by the borrowing and owning caches.
+#[allow(clippy::too_many_arguments)]
+fn prepare_pairs_for(
+    a: &Table,
+    b: &Table,
+    interner: &mut TokenInterner,
+    left: &mut PreparedSide,
+    right: &mut PreparedSide,
+    stats: &mut CacheStats,
+    plan: &FeaturePlan,
+    pairs: &[(u32, u32)],
+) {
+    left.ensure_rows(a.nrows());
+    right.ensure_rows(b.nrows());
+    let mut l_ref = vec![false; a.nrows()];
+    let mut r_ref = vec![false; b.nrows()];
+    for &(ra, rb) in pairs {
+        l_ref[ra as usize] = true;
+        r_ref[rb as usize] = true;
+    }
+    // Distinct slots per side (several features can share one slot).
+    let mut l_slots: Vec<usize> = plan.entries.iter().map(|e| e.l_slot).collect();
+    l_slots.sort_unstable();
+    l_slots.dedup();
+    let mut r_slots: Vec<usize> = plan.entries.iter().map(|e| e.r_slot).collect();
+    r_slots.sort_unstable();
+    r_slots.dedup();
+
+    for &s in &l_slots {
+        prepare_column(&mut left.cols[s], a, &l_ref, interner, stats);
+    }
+    for &s in &r_slots {
+        prepare_column(&mut right.cols[s], b, &r_ref, interner, stats);
+    }
+    stats.interner_tokens = interner.len();
+}
+
+/// Evaluate one planned feature row from prepared sides.
+fn compute_row_from(
+    left: &PreparedSide,
+    right: &PreparedSide,
+    plan: &FeaturePlan,
+    ra: usize,
+    rb: usize,
+) -> Vec<f64> {
+    let mut row = Vec::with_capacity(plan.entries.len());
+    for e in &plan.entries {
+        let va = left.cols[e.l_slot].cells[ra]
+            .as_ref()
+            .expect("left record prepared");
+        let vb = right.cols[e.r_slot].cells[rb]
+            .as_ref()
+            .expect("right record prepared");
+        row.push(compute_prepared(e.kind, va, vb));
+    }
+    row
 }
 
 /// A feature list resolved against a [`PreparedPair`]: per feature, the
@@ -202,46 +317,13 @@ impl<'t> PreparedPair<'t> {
     /// `(attribute, shape)` combinations. Errors on unknown attributes,
     /// exactly like the unprepared extractor.
     pub fn plan(&mut self, features: &[Feature]) -> magellan_table::Result<FeaturePlan> {
-        let mut entries = Vec::with_capacity(features.len());
-        let mut n_token_features = 0;
-        for f in features {
-            let li = self.a.schema().try_index_of(&f.l_attr)?;
-            let ri = self.b.schema().try_index_of(&f.r_attr)?;
-            let spec = PrepSpec::of(f.kind);
-            if spec.tokenizes() {
-                n_token_features += 1;
-            }
-            entries.push(PlanEntry {
-                kind: f.kind,
-                l_slot: self.left.slot(li, spec, self.a.nrows()),
-                r_slot: self.right.slot(ri, spec, self.b.nrows()),
-            });
-        }
-        Ok(FeaturePlan {
-            entries,
-            names: features.iter().map(|f| f.name.clone()).collect(),
-            n_token_features,
-        })
+        plan_features(self.a, self.b, &mut self.left, &mut self.right, features)
     }
 
     /// Prepare every record the given pairs reference, for every slot the
     /// plan reads. Cells already prepared (by this or an earlier plan)
     /// are counted as cache hits and not recomputed.
     pub fn prepare_for_pairs(&mut self, plan: &FeaturePlan, pairs: &[(u32, u32)]) {
-        let mut l_ref = vec![false; self.a.nrows()];
-        let mut r_ref = vec![false; self.b.nrows()];
-        for &(ra, rb) in pairs {
-            l_ref[ra as usize] = true;
-            r_ref[rb as usize] = true;
-        }
-        // Distinct slots per side (several features can share one slot).
-        let mut l_slots: Vec<usize> = plan.entries.iter().map(|e| e.l_slot).collect();
-        l_slots.sort_unstable();
-        l_slots.dedup();
-        let mut r_slots: Vec<usize> = plan.entries.iter().map(|e| e.r_slot).collect();
-        r_slots.sort_unstable();
-        r_slots.dedup();
-
         let PreparedPair {
             a,
             b,
@@ -250,13 +332,7 @@ impl<'t> PreparedPair<'t> {
             right,
             stats,
         } = self;
-        for &s in &l_slots {
-            prepare_column(&mut left.cols[s], a, &l_ref, interner, stats);
-        }
-        for &s in &r_slots {
-            prepare_column(&mut right.cols[s], b, &r_ref, interner, stats);
-        }
-        stats.interner_tokens = interner.len();
+        prepare_pairs_for(a, b, interner, left, right, stats, plan, pairs);
     }
 
     /// Evaluate a planned feature row for one prepared pair.
@@ -265,17 +341,7 @@ impl<'t> PreparedPair<'t> {
     /// If the pair's records were not prepared for this plan (call
     /// [`PreparedPair::prepare_for_pairs`] first).
     pub fn compute_row(&self, plan: &FeaturePlan, ra: usize, rb: usize) -> Vec<f64> {
-        let mut row = Vec::with_capacity(plan.entries.len());
-        for e in &plan.entries {
-            let va = self.left.cols[e.l_slot].cells[ra]
-                .as_ref()
-                .expect("left record prepared");
-            let vb = self.right.cols[e.r_slot].cells[rb]
-                .as_ref()
-                .expect("right record prepared");
-            row.push(compute_prepared(e.kind, va, vb));
-        }
-        row
+        compute_row_from(&self.left, &self.right, plan, ra, rb)
     }
 
     /// Cumulative cache counters since construction.
@@ -291,6 +357,157 @@ impl<'t> PreparedPair<'t> {
     /// The tables this cache was built over.
     pub fn tables(&self) -> (&'t Table, &'t Table) {
         (self.a, self.b)
+    }
+}
+
+/// The owning, mutable variant of [`PreparedPair`] for the streaming
+/// tier: the store owns both tables, so records can be appended or
+/// rewritten while the preparation caches live on — and an update dirties
+/// **exactly that record's cells**, not the whole cache. Every other
+/// record's prepared shapes survive the mutation, which is what makes the
+/// incremental feature path O(dirty pairs) instead of O(all pairs).
+///
+/// The shared [`TokenInterner`] is append-only, so already-prepared id
+/// sets stay valid as new records grow the vocabulary (same argument as
+/// the incremental join's interner-order prefix index).
+#[derive(Debug)]
+pub struct StreamingPreparedPair {
+    a: Table,
+    b: Table,
+    interner: TokenInterner,
+    left: PreparedSide,
+    right: PreparedSide,
+    stats: CacheStats,
+    cells_invalidated: u64,
+}
+
+impl StreamingPreparedPair {
+    /// Take ownership of the two tables with nothing prepared yet.
+    pub fn new(a: Table, b: Table) -> Self {
+        StreamingPreparedPair {
+            a,
+            b,
+            interner: TokenInterner::new(),
+            left: PreparedSide::default(),
+            right: PreparedSide::default(),
+            stats: CacheStats::default(),
+            cells_invalidated: 0,
+        }
+    }
+
+    /// The current tables (read-only; mutate through the store so caches
+    /// stay coherent).
+    pub fn tables(&self) -> (&Table, &Table) {
+        (&self.a, &self.b)
+    }
+
+    /// Append a record to the left (`left = true`) or right table and
+    /// return its row id. New rows start unprepared — no invalidation
+    /// needed.
+    pub fn push_row(&mut self, left: bool, row: Vec<Value>) -> magellan_table::Result<usize> {
+        let t = if left { &mut self.a } else { &mut self.b };
+        t.push_row(row)?;
+        Ok(t.nrows() - 1)
+    }
+
+    /// Overwrite one attribute of an existing record and invalidate that
+    /// record's prepared cells (and only that record's).
+    pub fn set_value(
+        &mut self,
+        left: bool,
+        rid: usize,
+        attr: &str,
+        value: Value,
+    ) -> magellan_table::Result<()> {
+        let t = if left { &mut self.a } else { &mut self.b };
+        t.set_value(rid, attr, value)?;
+        self.invalidate_record(left, rid);
+        Ok(())
+    }
+
+    /// Drop every prepared shape of one record, forcing re-preparation on
+    /// next use. Returns the number of cells actually cleared.
+    pub fn invalidate_record(&mut self, left: bool, rid: usize) -> usize {
+        let side = if left { &mut self.left } else { &mut self.right };
+        let cleared = side.invalidate(rid);
+        self.cells_invalidated += cleared as u64;
+        cleared
+    }
+
+    /// Total prepared cells cleared by per-record invalidation since
+    /// construction (the streaming tier's "how little did we dirty"
+    /// counter).
+    pub fn cells_invalidated(&self) -> u64 {
+        self.cells_invalidated
+    }
+
+    /// Cumulative cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Distinct tokens interned so far.
+    pub fn interner_len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Extract a feature matrix for the given pairs, reusing every cell
+    /// prepared by earlier batches that was not invalidated since.
+    /// Bit-identical to a fresh [`extract_with_prepared`] over copies of
+    /// the current tables, for any worker count.
+    pub fn extract(
+        &mut self,
+        pairs: &[(u32, u32)],
+        features: &[Feature],
+        cfg: &ParConfig,
+    ) -> magellan_table::Result<(FeatureMatrix, ParStats)> {
+        let plan = plan_features(
+            &self.a,
+            &self.b,
+            &mut self.left,
+            &mut self.right,
+            features,
+        )?;
+        let before = self.stats;
+        {
+            let StreamingPreparedPair {
+                a,
+                b,
+                interner,
+                left,
+                right,
+                stats,
+                ..
+            } = self;
+            prepare_pairs_for(a, b, interner, left, right, stats, &plan, pairs);
+        }
+        let after = self.stats;
+        let spent = after.tokenize_calls - before.tokenize_calls;
+        let cache = CacheStats {
+            records_prepared: after.records_prepared - before.records_prepared,
+            tokenize_calls: spent,
+            tokenize_calls_saved: plan.scalar_tokenize_calls(pairs.len()).saturating_sub(spent),
+            lookups: after.lookups - before.lookups,
+            hits: after.hits - before.hits,
+            interner_tokens: after.interner_tokens,
+        };
+        self.stats.tokenize_calls_saved += cache.tokenize_calls_saved;
+
+        let (left, right) = (&self.left, &self.right);
+        let (rows, mut stats) = magellan_par::map_indexed(pairs.len(), cfg, |p| {
+            let (ra, rb) = pairs[p];
+            compute_row_from(left, right, &plan, ra as usize, rb as usize)
+        });
+        cache.publish();
+        stats.cache = cache;
+        Ok((
+            FeatureMatrix {
+                names: plan.names.clone(),
+                rows,
+                pairs: pairs.to_vec(),
+            },
+            stats,
+        ))
     }
 }
 
@@ -624,6 +841,88 @@ mod tests {
         let total = prepared.cache_stats();
         assert_eq!(total.lookups, s1.cache.lookups + s2.cache.lookups);
         assert!(total.hit_rate() > 0.0);
+    }
+
+    /// Per-record invalidation: updating one record through the streaming
+    /// store re-prepares only that record, and the resulting rows are
+    /// bit-identical to a cold extraction over the mutated tables.
+    #[test]
+    fn streaming_store_invalidates_per_record_not_globally() {
+        let (a, b) = tables();
+        let features = all_kind_features();
+        let pairs = all_pairs(&a, &b);
+        let mut store = StreamingPreparedPair::new(a.clone(), b.clone());
+        let (_, s1) = store.extract(&pairs, &features, &ParConfig::serial()).unwrap();
+        assert!(s1.cache.records_prepared > 0);
+
+        // Rewrite one left record's name; only its cells go dirty.
+        store
+            .set_value(true, 0, "name", Value::Str("David Smith Jr".into()))
+            .unwrap();
+        assert!(store.cells_invalidated() > 0);
+        let (m2, s2) = store.extract(&pairs, &features, &ParConfig::serial()).unwrap();
+        // Exactly the dirty record re-prepared: its (col, shape) cells for
+        // the name column, nothing from rows 1..3 or the right table.
+        let name_shapes = 6; // LowerStr, WordBag, WordSet, QgramSet(3) on name + none elsewhere
+        assert!(
+            s2.cache.records_prepared <= name_shapes,
+            "re-prepared {} cells, expected at most the dirty record's shapes",
+            s2.cache.records_prepared
+        );
+        assert!(s2.cache.hits > 0, "clean records must hit the cache");
+
+        // Bit-identity with a cold extraction over the mutated tables.
+        let mut a2 = a.clone();
+        a2.set_value(0, "name", Value::Str("David Smith Jr".into())).unwrap();
+        let cold = extract_feature_matrix_scalar(&pairs, &a2, &b, &features).unwrap();
+        for (cr, sr) in m2.rows.iter().zip(&cold.rows) {
+            for (cv, sv) in cr.iter().zip(sr) {
+                assert_eq!(cv.to_bits(), sv.to_bits(), "streaming extract diverged");
+            }
+        }
+    }
+
+    /// Appended records extend the caches without touching prepared cells,
+    /// and extraction over pairs referencing them matches a cold run.
+    #[test]
+    fn streaming_store_grows_with_pushed_rows() {
+        let (a, b) = tables();
+        let features = vec![
+            Feature::new("name", "name", FeatureKind::Jaccard(TokSpecF::Word)),
+            Feature::new("name", "name", FeatureKind::JaroWinkler),
+        ];
+        let pairs = all_pairs(&a, &b);
+        let mut store = StreamingPreparedPair::new(a.clone(), b.clone());
+        store.extract(&pairs, &features, &ParConfig::serial()).unwrap();
+
+        let rid = store
+            .push_row(
+                false,
+                vec!["b2".into(), "dave smith jr".into(), "madison wi".into(), Value::Int(40)],
+            )
+            .unwrap();
+        assert_eq!(rid, b.nrows());
+        assert_eq!(store.cells_invalidated(), 0, "appends dirty nothing");
+
+        let mut pairs2 = pairs.clone();
+        pairs2.extend((0..a.nrows() as u32).map(|ra| (ra, rid as u32)));
+        let (m, s) = store.extract(&pairs2, &features, &ParConfig::workers(4)).unwrap();
+        assert!(s.cache.hits > 0);
+
+        let mut b2 = b.clone();
+        b2.push_row(vec![
+            "b2".into(),
+            "dave smith jr".into(),
+            "madison wi".into(),
+            Value::Int(40),
+        ])
+        .unwrap();
+        let cold = extract_feature_matrix_scalar(&pairs2, &a, &b2, &features).unwrap();
+        for (cr, sr) in m.rows.iter().zip(&cold.rows) {
+            for (cv, sv) in cr.iter().zip(sr) {
+                assert_eq!(cv.to_bits(), sv.to_bits(), "grown extract diverged");
+            }
+        }
     }
 
     #[test]

@@ -201,6 +201,28 @@ impl FlatForest {
         });
         chunks.into_iter().flatten().collect()
     }
+
+    /// Re-score only the **dirty** pairs of a streaming batch: the
+    /// incremental tier's model stage. `dirty` carries `(pair key,
+    /// feature row)` for exactly the pairs whose records changed;
+    /// everything else keeps its previous score untouched. Returns
+    /// `(key, probability)` in input order, scored through
+    /// [`FlatForest::predict_proba_batch`] — so a dirty pair's new score
+    /// is bit-identical to what a full-matrix rebuild would give it, for
+    /// any worker count.
+    pub fn rescore_dirty<K: Copy>(
+        &self,
+        dirty: &[(K, Vec<f64>)],
+        cfg: &ParConfig,
+    ) -> Vec<(K, f64)> {
+        let rows: Vec<Vec<f64>> = dirty.iter().map(|(_, r)| r.clone()).collect();
+        let probs = self.predict_proba_batch(&rows, cfg);
+        dirty
+            .iter()
+            .map(|(k, _)| *k)
+            .zip(probs)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +292,34 @@ mod tests {
                 forest.vote_fraction(row).to_bits()
             );
             assert_eq!(flat.predict(row), forest.predict(row));
+        }
+    }
+
+    /// Rescoring only the dirty subset gives each pair the bit-identical
+    /// probability a full batch rescore would, for any worker count.
+    #[test]
+    fn rescore_dirty_matches_full_batch_bitwise() {
+        let d = blob_data(21, 160);
+        let forest = RandomForestLearner {
+            n_trees: 7,
+            ..Default::default()
+        }
+        .fit_forest(&d);
+        let flat = FlatForest::from_forest(&forest);
+        let all_rows: Vec<Vec<f64>> = (0..d.len()).map(|i| d.row(i).to_vec()).collect();
+        let full = flat.predict_proba_batch(&all_rows, &ParConfig::serial());
+        // Dirty subset: every third pair, keyed by (l, r) ids.
+        let dirty: Vec<((usize, usize), Vec<f64>)> = (0..d.len())
+            .step_by(3)
+            .map(|i| ((i, i + 1000), all_rows[i].clone()))
+            .collect();
+        for w in [1, 4] {
+            let scored = flat.rescore_dirty(&dirty, &ParConfig::workers(w));
+            assert_eq!(scored.len(), dirty.len());
+            for ((key, p), (dkey, _)) in scored.iter().zip(&dirty) {
+                assert_eq!(key, dkey);
+                assert_eq!(p.to_bits(), full[key.0].to_bits(), "w={w} diverged");
+            }
         }
     }
 

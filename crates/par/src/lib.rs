@@ -324,6 +324,22 @@ pub struct JoinStats {
     /// Edit-join candidates whose signatures survived the prefilter
     /// (denominator for the prefilter kill rate).
     pub qgram_sig_checked: usize,
+    /// Delta-join probes: new/changed records probed against a standing
+    /// index instead of a full-corpus re-join.
+    pub delta_probes: usize,
+    /// Signed pair deltas emitted with polarity `Added`.
+    pub delta_pairs_added: usize,
+    /// Signed pair deltas emitted with polarity `Removed`.
+    pub delta_pairs_removed: usize,
+    /// Stale postings skipped at probe time because their record was
+    /// tombstoned (deleted or superseded) after the posting was packed.
+    pub tombstones_skipped: usize,
+    /// Postings scanned in the uncompacted tail overlay (records added
+    /// since the last CSR compaction).
+    pub tail_postings_scanned: usize,
+    /// CSR compactions: tombstone density crossed the threshold and the
+    /// postings buffer was re-packed over the live records.
+    pub compactions: usize,
 }
 
 impl JoinStats {
@@ -364,6 +380,24 @@ impl JoinStats {
             "magellan_simjoin_qgram_sig_checked_total",
             self.qgram_sig_checked as u64,
         );
+        obs.counter_add("magellan_simjoin_delta_probes_total", self.delta_probes as u64);
+        obs.counter_add(
+            "magellan_simjoin_delta_pairs_added_total",
+            self.delta_pairs_added as u64,
+        );
+        obs.counter_add(
+            "magellan_simjoin_delta_pairs_removed_total",
+            self.delta_pairs_removed as u64,
+        );
+        obs.counter_add(
+            "magellan_simjoin_tombstones_skipped_total",
+            self.tombstones_skipped as u64,
+        );
+        obs.counter_add(
+            "magellan_simjoin_tail_postings_scanned_total",
+            self.tail_postings_scanned as u64,
+        );
+        obs.counter_add("magellan_simjoin_compactions_total", self.compactions as u64);
     }
 
     /// Fold another region's join counters into this one (all sums).
@@ -381,6 +415,12 @@ impl JoinStats {
         self.kernel_gallop += other.kernel_gallop;
         self.killed_by_qgram_sig += other.killed_by_qgram_sig;
         self.qgram_sig_checked += other.qgram_sig_checked;
+        self.delta_probes += other.delta_probes;
+        self.delta_pairs_added += other.delta_pairs_added;
+        self.delta_pairs_removed += other.delta_pairs_removed;
+        self.tombstones_skipped += other.tombstones_skipped;
+        self.tail_postings_scanned += other.tail_postings_scanned;
+        self.compactions += other.compactions;
     }
 
     /// Fraction of generated candidates killed by the positional filter.
@@ -895,6 +935,12 @@ mod tests {
                 kernel_gallop: 10,
                 killed_by_qgram_sig: 6,
                 qgram_sig_checked: 12,
+                delta_probes: 4,
+                delta_pairs_added: 3,
+                delta_pairs_removed: 2,
+                tombstones_skipped: 7,
+                tail_postings_scanned: 9,
+                compactions: 1,
             },
         };
         let b = ParStats {
@@ -929,6 +975,12 @@ mod tests {
                 kernel_gallop: 5,
                 killed_by_qgram_sig: 2,
                 qgram_sig_checked: 4,
+                delta_probes: 1,
+                delta_pairs_added: 1,
+                delta_pairs_removed: 1,
+                tombstones_skipped: 3,
+                tail_postings_scanned: 1,
+                compactions: 1,
             },
         };
         a.merge(&b);
@@ -962,6 +1014,12 @@ mod tests {
         assert_eq!(a.join.kernel_gallop, 15);
         assert_eq!(a.join.killed_by_qgram_sig, 8);
         assert_eq!(a.join.qgram_sig_checked, 16);
+        assert_eq!(a.join.delta_probes, 5);
+        assert_eq!(a.join.delta_pairs_added, 4);
+        assert_eq!(a.join.delta_pairs_removed, 3);
+        assert_eq!(a.join.tombstones_skipped, 10);
+        assert_eq!(a.join.tail_postings_scanned, 10);
+        assert_eq!(a.join.compactions, 2);
         assert!((a.join.qgram_sig_kill_rate() - 0.5).abs() < 1e-12);
         assert!((a.join.position_kill_rate() - 50.0 / 150.0).abs() < 1e-12);
         assert!((a.join.suffix_kill_rate() - 0.2).abs() < 1e-12);

@@ -28,6 +28,9 @@
 //! [`magellan_par::JoinStats`]; all counters are pure functions of
 //! (probe record, index), so they are identical for any worker count.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use magellan_par::{JoinStats, ParConfig, ParStats};
 use magellan_textsim::tokenize::Tokenizer;
 
@@ -181,8 +184,12 @@ impl<'a> ProbePlan<'a> {
 /// line instead of two.
 #[derive(Clone, Copy)]
 struct Slot {
-    /// `stamp == probe id` ⇔ the rest of the slot is live for this probe.
-    stamp: u32,
+    /// `stamp == probe stamp` ⇔ the rest of the slot is live for this
+    /// probe. Stamps are drawn from a process-wide counter (one block per
+    /// join region), so a slot left over from *any* earlier join or chunk
+    /// can never false-match — which is what lets the scratch live in
+    /// thread-local storage and be reused instead of reallocated.
+    stamp: u64,
     /// Prefix collisions counted so far; [`DEAD`] once abandoned.
     cnt: u32,
     /// Probe-side position of the last collision.
@@ -196,7 +203,7 @@ struct Slot {
 /// Sentinel marking a candidate killed by the positional filter.
 const DEAD: u32 = u32::MAX;
 
-/// Reusable per-worker probe scratch (stamp-validated, never cleared).
+/// Reusable probe scratch (stamp-validated, never cleared).
 struct Scratch {
     slots: Vec<Slot>,
     /// Candidates touched by the current probe, in first-touch order.
@@ -205,20 +212,45 @@ struct Scratch {
 
 impl Scratch {
     fn new(n_indexed: usize) -> Self {
-        Scratch {
-            slots: vec![
+        let mut s = Scratch {
+            slots: Vec::new(),
+            touched: Vec::new(),
+        };
+        s.ensure(n_indexed);
+        s
+    }
+
+    /// Grow (never shrink) to cover `n_indexed` records. Existing slots
+    /// keep their stamps — stale entries are unreachable by construction,
+    /// so growth is the only maintenance reuse ever needs.
+    fn ensure(&mut self, n_indexed: usize) {
+        if self.slots.len() < n_indexed {
+            self.slots.resize(
+                n_indexed,
                 Slot {
-                    stamp: u32::MAX,
+                    stamp: u64::MAX,
                     cnt: 0,
                     px: 0,
                     py: 0,
-                    need: 0
-                };
-                n_indexed
-            ],
-            touched: Vec::new(),
+                    need: 0,
+                },
+            );
         }
     }
+}
+
+/// Process-wide probe-stamp allocator. Each join region reserves one
+/// contiguous block of stamps (one per probe record), so stamps are
+/// unique across every join and chunk a thread's scratch ever serves.
+static PROBE_STAMPS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// The worker's probe scratch. Chunks used to allocate (and zero) an
+    /// O(n_indexed) slot array *each*; since the chunk count scales with
+    /// the worker count, that overhead grew exactly when parallelism was
+    /// supposed to help. The thread-local is allocated once per thread
+    /// and revalidated purely by stamps.
+    static PROBE_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new(0));
 }
 
 /// Join two string collections. `None` / empty-token records never match
@@ -274,22 +306,27 @@ pub fn join_tokenized_stats(
     measure.validate();
     let plan = ProbePlan::choose(coll, side);
     let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
-    let mut scratch = Scratch::new(plan.indexed.len());
+    let stamp_base = PROBE_STAMPS.fetch_add(plan.probe.len() as u64, Ordering::Relaxed);
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
-    for (p, x) in plan.probe.iter().enumerate() {
-        probe_one(
-            p,
-            x,
-            plan.indexed,
-            &index,
-            measure,
-            plan.swap,
-            &mut scratch,
-            &mut out,
-            &mut stats,
-        );
-    }
+    PROBE_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.ensure(plan.indexed.len());
+        for (p, x) in plan.probe.iter().enumerate() {
+            probe_one(
+                p,
+                stamp_base + p as u64,
+                x,
+                plan.indexed,
+                &index,
+                measure,
+                plan.swap,
+                &mut scratch,
+                &mut out,
+                &mut stats,
+            );
+        }
+    });
     out.sort_unstable_by_key(|a| (a.l, a.r));
     stats.pairs = out.len();
     stats.probe_swaps = plan.swap as usize;
@@ -306,6 +343,7 @@ pub fn join_tokenized_stats(
 #[allow(clippy::too_many_arguments)]
 fn probe_one(
     probe_rid: usize,
+    stamp: u64,
     x: &[u32],
     indexed: &[Vec<u32>],
     index: &PrefixIndex,
@@ -322,7 +360,6 @@ fn probe_one(
     stats.probes += 1;
     let (lo, hi) = measure.size_bounds(sx);
     let probe_len = measure.prefix_len(sx).min(sx);
-    let stamp = probe_rid as u32;
     scratch.touched.clear();
 
     // Stage 1 + 2: collect prefix collisions, size windows first, then
@@ -466,24 +503,32 @@ pub fn join_tokenized_par_side(
     measure.validate();
     let plan = ProbePlan::choose(coll, side);
     let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
+    let stamp_base = PROBE_STAMPS.fetch_add(plan.probe.len() as u64, Ordering::Relaxed);
     let (chunks, mut stats) = magellan_par::chunk_map(plan.probe.len(), cfg, |range| {
-        let mut scratch = Scratch::new(plan.indexed.len());
-        let mut out = Vec::new();
-        let mut js = JoinStats::default();
-        for p in range {
-            probe_one(
-                p,
-                &plan.probe[p],
-                plan.indexed,
-                &index,
-                measure,
-                plan.swap,
-                &mut scratch,
-                &mut out,
-                &mut js,
-            );
-        }
-        (out, js)
+        // Reuse the worker's thread-local scratch: stamps make stale
+        // slots (from other chunks, other joins, other probe sides)
+        // unreachable, so no per-chunk allocation or zeroing happens.
+        PROBE_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.ensure(plan.indexed.len());
+            let mut out = Vec::new();
+            let mut js = JoinStats::default();
+            for p in range {
+                probe_one(
+                    p,
+                    stamp_base + p as u64,
+                    &plan.probe[p],
+                    plan.indexed,
+                    &index,
+                    measure,
+                    plan.swap,
+                    &mut scratch,
+                    &mut out,
+                    &mut js,
+                );
+            }
+            (out, js)
+        })
     });
     let mut out = Vec::new();
     let mut js = JoinStats::default();
@@ -757,6 +802,49 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    /// Regression: a ≥16× record-length skew must reach the galloping
+    /// verify kernel (the symmetric soups above never do — their operand
+    /// ratios stay under `GALLOP_RATIO`), and the result must still match
+    /// the reference engine bit-for-bit.
+    #[test]
+    fn size_skew_exercises_the_gallop_kernel() {
+        let tok = WhitespaceTokenizer::new();
+        // 200 short probe records (2–5 tokens) vs 12 long indexed records
+        // (120 tokens): suffix merges pit a handful of probe tokens
+        // against ~100-token indexed remainders.
+        let left = soup(31, 200, 5, 400);
+        let mut state = 33u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let right: Vec<Option<String>> = (0..12)
+            .map(|_| {
+                Some(
+                    (0..120)
+                        .map(|_| format!("t{}", next() % 400))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                )
+            })
+            .collect();
+        let coll = TokenizedCollection::build(&left, &right, &tok);
+        let measure = SetSimMeasure::OverlapSize(2);
+        let (pairs, stats) = join_tokenized_stats(&coll, measure, ProbeSide::Left);
+        assert!(
+            stats.kernel_gallop > 0,
+            "size-skew workload must fire the gallop kernel (verified={})",
+            stats.verified
+        );
+        assert_eq!(
+            pairs,
+            crate::reference::join_tokenized_hashmap(&coll, measure),
+            "gallop path diverged from the reference engine"
+        );
     }
 
     /// The CSR engine agrees bit-for-bit with the preserved HashMap

@@ -27,6 +27,12 @@
 //! against the preserved pre-CSR engine ([`reference`]). Per-stage kill
 //! counters surface through [`magellan_par::JoinStats`].
 //!
+//! The **incremental tier** ([`incremental`]) maintains the same join
+//! under record insert/delete/update: tombstoned CSR postings + a tail
+//! overlay, periodic compaction, and delta probes that emit signed
+//! [`incremental::PairDelta`]s in O(delta) — with the live view held
+//! bit-identical to a from-scratch batch join after every batch.
+//!
 //! Supported measures: Jaccard, cosine, Dice, absolute overlap
 //! ([`join::set_sim_join`]) and edit distance ([`editjoin::edit_distance_join`]).
 //! Every join has a multi-threaded variant used by the production-stage
@@ -38,12 +44,14 @@
 pub mod collection;
 pub mod editjoin;
 pub mod filters;
+pub mod incremental;
 pub mod index;
 pub mod join;
 pub mod reference;
 pub mod verify;
 
 pub use collection::TokenizedCollection;
+pub use incremental::{IncrementalJoin, PairDelta, RecordMutation, Side};
 pub use join::{
     join_tokenized, join_tokenized_par, join_tokenized_par_side, join_tokenized_stats,
     set_sim_join, set_sim_join_parallel, set_sim_join_stats, JoinPair, ProbeSide, SetSimMeasure,

@@ -1,0 +1,171 @@
+//! Property oracle for the incremental tier: under *any* random sequence
+//! of inserts, deletes, and in-place updates — across all four set
+//! measures and multiple worker counts — the delta-maintained live view
+//! must stay **bit-identical** (same `(l, r)` pair set, exact same f64
+//! similarity bits) to a from-scratch batch join over the current
+//! records, and the signed deltas must replay to the same view.
+
+use std::collections::BTreeMap;
+
+use magellan_par::ParConfig;
+use magellan_simjoin::{IncrementalJoin, PairDelta, RecordMutation, SetSimMeasure, Side};
+use magellan_textsim::tokenize::WhitespaceTokenizer;
+use proptest::prelude::*;
+
+/// Abstract op: sides are booleans, victims are raw words reduced modulo
+/// the record count at apply time (so every generated sequence is valid).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(bool, Option<String>),
+    Delete(bool, u16),
+    Update(bool, u16, Option<String>),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let text = || proptest::option::weighted(0.9, "[ab]{0,3}( [ab]{1,3}){0,3}");
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (any::<bool>(), text()).prop_map(|(s, t)| Op::Insert(s, t)),
+            1 => (any::<bool>(), any::<u16>()).prop_map(|(s, v)| Op::Delete(s, v)),
+            2 => (any::<bool>(), any::<u16>(), text()).prop_map(|(s, v, t)| Op::Update(s, v, t)),
+        ],
+        1..40,
+    )
+}
+
+fn side_of(left: bool) -> Side {
+    if left {
+        Side::Left
+    } else {
+        Side::Right
+    }
+}
+
+/// Resolve abstract ops against the engine's current population; ops
+/// against an empty side are dropped (nothing to delete/update yet).
+fn materialize(engine: &IncrementalJoin, ops: &[Op]) -> Vec<RecordMutation> {
+    let mut out = Vec::with_capacity(ops.len());
+    // Count records as the batch will see them applied *sequentially*:
+    // an insert earlier in the batch is a valid victim later in it.
+    let mut n_l = engine.n_records(Side::Left);
+    let mut n_r = engine.n_records(Side::Right);
+    for op in ops {
+        match op {
+            Op::Insert(left, text) => {
+                if *left {
+                    n_l += 1;
+                } else {
+                    n_r += 1;
+                }
+                out.push(RecordMutation::Insert {
+                    side: side_of(*left),
+                    text: text.clone(),
+                });
+            }
+            Op::Delete(left, v) => {
+                let n = if *left { n_l } else { n_r };
+                if n > 0 {
+                    out.push(RecordMutation::Delete {
+                        side: side_of(*left),
+                        rid: *v as usize % n,
+                    });
+                }
+            }
+            Op::Update(left, v, text) => {
+                let n = if *left { n_l } else { n_r };
+                if n > 0 {
+                    out.push(RecordMutation::Update {
+                        side: side_of(*left),
+                        rid: *v as usize % n,
+                        text: text.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random mutation sequences × 4 measures × worker counts {1, 4}:
+    /// after **every** batch the live view equals the from-scratch
+    /// rebuild bit-for-bit, the deltas replay to the live view, and the
+    /// worker count changes neither the deltas nor the view.
+    #[test]
+    fn live_view_always_equals_from_scratch_rebuild(op_seq in ops()) {
+        let tok = WhitespaceTokenizer::new();
+        let measures = [
+            SetSimMeasure::Jaccard(0.5),
+            SetSimMeasure::Cosine(0.6),
+            SetSimMeasure::Dice(0.5),
+            SetSimMeasure::OverlapSize(1),
+        ];
+        for measure in measures {
+            let mut serial = IncrementalJoin::new(measure);
+            let mut par = IncrementalJoin::new(measure);
+            let mut replayed: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+            for chunk in op_seq.chunks(7) {
+                let batch = materialize(&serial, chunk);
+                let batch_par = materialize(&par, chunk);
+                prop_assert_eq!(&batch, &batch_par, "materialization must not depend on engine");
+                let (deltas, _) = serial.apply_batch(&batch, &tok, &ParConfig::serial());
+                let (deltas_par, _) = par.apply_batch(&batch, &tok, &ParConfig::workers(4));
+                prop_assert_eq!(&deltas, &deltas_par,
+                    "worker count changed the deltas for {:?}", measure);
+
+                // Replay the signed deltas into an independent view.
+                for d in &deltas {
+                    match d {
+                        PairDelta::Removed { l, r } => {
+                            prop_assert!(replayed.remove(&(*l, *r)).is_some(),
+                                "Removed a pair the replayed view never had");
+                        }
+                        PairDelta::Added(p) => {
+                            let prev = replayed.insert((p.l, p.r), p.sim.to_bits());
+                            prop_assert!(prev.is_none(), "Added an already-live pair");
+                        }
+                    }
+                }
+
+                // The live view is bit-identical to a batch join from
+                // scratch over the current records.
+                let live = serial.live_pairs();
+                let rebuilt = serial.rebuild_from_scratch(&tok);
+                prop_assert_eq!(live.len(), rebuilt.len(), "cardinality for {:?}", measure);
+                for (a, b) in live.iter().zip(&rebuilt) {
+                    prop_assert_eq!((a.l, a.r), (b.l, b.r), "pair set for {:?}", measure);
+                    prop_assert_eq!(a.sim.to_bits(), b.sim.to_bits(),
+                        "similarity bits for {:?}", measure);
+                }
+                // And the replayed deltas reconstruct exactly that view.
+                prop_assert_eq!(replayed.len(), live.len());
+                for p in &live {
+                    prop_assert_eq!(replayed.get(&(p.l, p.r)), Some(&p.sim.to_bits()));
+                }
+            }
+        }
+    }
+
+    /// Eager compaction (threshold ~0) and lazy compaction (threshold ∞)
+    /// agree with each other and the rebuild under the same mutations.
+    #[test]
+    fn compaction_policy_never_changes_the_view(op_seq in ops()) {
+        let tok = WhitespaceTokenizer::new();
+        let measure = SetSimMeasure::Jaccard(0.4);
+        let mut eager = IncrementalJoin::new(measure).with_compaction_threshold(1e-9);
+        let mut lazy = IncrementalJoin::new(measure).with_compaction_threshold(1e9);
+        for chunk in op_seq.chunks(5) {
+            let batch = materialize(&eager, chunk);
+            eager.apply_batch(&batch, &tok, &ParConfig::serial());
+            lazy.apply_batch(&batch, &tok, &ParConfig::serial());
+            let (ve, vl) = (eager.live_pairs(), lazy.live_pairs());
+            prop_assert_eq!(ve.len(), vl.len());
+            for (a, b) in ve.iter().zip(&vl) {
+                prop_assert_eq!((a.l, a.r), (b.l, b.r));
+                prop_assert_eq!(a.sim.to_bits(), b.sim.to_bits());
+            }
+        }
+    }
+}
