@@ -52,12 +52,14 @@ fn main() {
                 r_attr: attr.into(),
                 overlap_size: 4,
                 qgram: Some(3),
+                shards: 1,
             }),
             Box::new(SimJoinBlocker {
                 l_attr: attr.into(),
                 r_attr: attr.into(),
                 measure: SetSimMeasure::Jaccard(0.4),
                 qgram: Some(3),
+                shards: 1,
             }),
             Box::new(SortedNeighborhoodBlocker {
                 l_attr: attr.into(),

@@ -35,6 +35,21 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Best-of-reps: the minimum is the standard noise-robust estimator for
+/// a deterministic workload (every sample is the true cost plus
+/// non-negative scheduler/cache noise). Used for the kernel-tier A/B,
+/// where the effect size is small enough for median noise to flip the
+/// sign of the comparison.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Deterministic token soup with controllable frequency skew (`skew = 0`
 /// is uniform; larger values concentrate mass on heavy-hitter tokens).
 fn make_strings(n: usize, seed: u64, vocab: usize, skew: f64) -> Vec<Option<String>> {
@@ -59,6 +74,60 @@ fn make_strings(n: usize, seed: u64, vocab: usize, skew: f64) -> Vec<Option<Stri
             )
         })
         .collect()
+}
+
+/// Wide near-duplicate pairs (150–249 tokens over a 1M-token
+/// vocabulary) for the wide_sparse grid: each right record is a
+/// perturbed twin of its left record (every token kept with p = 0.7,
+/// else redrawn), so Jaccard lands around 0.54 and a 0.5 threshold
+/// makes almost every verification *succeed* — the per-element failure
+/// bound cannot early-exit a succeeding merge, so both modes walk the
+/// full multi-hundred-step merge. This is the worst case for any
+/// adaptive dispatch that strays from the scalar reference (the
+/// block-branchless merge measured 0.89× here, the bitset kernel
+/// 0.62× on a dense variant), which makes it the regression guard for
+/// the PR 9 selection retune: adaptive must *tie* the reference on
+/// full-length merges, where the 3–8-token grids resolve in 1–2 scalar
+/// steps and could mask a bad multi-block policy.
+fn make_wide_pairs(
+    n: usize,
+    seed: u64,
+    vocab: usize,
+) -> (Vec<Option<String>>, Vec<Option<String>>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = 150 + (next() % 100) as usize;
+        let base: Vec<usize> = (0..k).map(|_| next() as usize % vocab).collect();
+        let twin: Vec<usize> = base
+            .iter()
+            .map(|&t| {
+                if next() % 100 < 70 {
+                    t
+                } else {
+                    next() as usize % vocab
+                }
+            })
+            .collect();
+        let render = |toks: &[usize]| {
+            Some(
+                toks.iter()
+                    .map(|t| format!("tok{t}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        };
+        left.push(render(&base));
+        right.push(render(&twin));
+    }
+    (left, right)
 }
 
 /// Long records (120–167 tokens) for the size-skew grid: probing a short
@@ -95,6 +164,11 @@ struct Grid {
     /// Shrink the right side to long records (`n / 25` of them): total
     /// tokens stay below the left side's, so Auto probes short-vs-long.
     long_right: bool,
+    /// Both sides 250 wide records, right a perturbed twin of left
+    /// (see [`make_wide_pairs`]): every verification runs a
+    /// multi-hundred-step merge to completion, exercising the
+    /// branchless merge kernel instead of the single-block scalar path.
+    wide: bool,
 }
 
 fn main() {
@@ -104,13 +178,18 @@ fn main() {
     let jaccard: fn(f64) -> SetSimMeasure = SetSimMeasure::Jaccard;
     let overlap: fn(f64) -> SetSimMeasure = |t| SetSimMeasure::OverlapSize(t as usize);
     let grids = [
-        Grid { name: "skewed", skew: 3.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
-        Grid { name: "skewed_loose", skew: 3.0, threshold: 0.5, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
-        Grid { name: "uniform", skew: 0.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false },
+        Grid { name: "skewed", skew: 3.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false, wide: false },
+        Grid { name: "skewed_loose", skew: 3.0, threshold: 0.5, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false, wide: false },
+        Grid { name: "uniform", skew: 0.0, threshold: 0.7, measure: jaccard, measure_name: "jaccard", vocab: 800, long_right: false, wide: false },
         // ≥16× record-length skew: 3–8-token probes against 120–167-token
         // indexed records. Regression guard for the galloping verify
         // kernel — the symmetric grids above never reach the gallop ratio.
-        Grid { name: "size_skew16", skew: 0.0, threshold: 2.0, measure: overlap, measure_name: "overlap_size", vocab: 4000, long_right: true },
+        Grid { name: "size_skew16", skew: 0.0, threshold: 2.0, measure: overlap, measure_name: "overlap_size", vocab: 4000, long_right: true, wide: false },
+        // 150–249-token near-duplicate pairs over a 1M-token vocabulary:
+        // nearly every verification succeeds and runs a full
+        // multi-hundred-step merge — the shape where a bad multi-block
+        // dispatch policy shows up undiluted (see `make_wide_pairs`).
+        Grid { name: "wide_sparse", skew: 0.0, threshold: 0.5, measure: jaccard, measure_name: "jaccard", vocab: 1_000_000, long_right: false, wide: true },
     ];
     let tok = WhitespaceTokenizer::new();
 
@@ -126,12 +205,21 @@ fn main() {
     writeln!(txt, "host exposes {cores} core(s); the w>1 rows measure threading overhead on a 1-core host").unwrap();
 
     let mut skewed_speedup_w1 = 0.0;
+    let mut kernel_speedups: Vec<(&str, f64)> = Vec::new();
     for grid in &grids {
-        let left = make_strings(n, 101, grid.vocab, grid.skew);
-        let right = if grid.long_right {
-            make_long_strings((n / 25).max(8), 103, grid.vocab)
+        // Wide sides stay at 250 records even in smoke: the grid's
+        // premise (sparse multi-block spans after rarest-first
+        // remapping) needs the full-size token universe.
+        let (left, right) = if grid.wide {
+            make_wide_pairs(250, 101, grid.vocab)
         } else {
-            make_strings(n, 103, grid.vocab, grid.skew)
+            let left = make_strings(n, 101, grid.vocab, grid.skew);
+            let right = if grid.long_right {
+                make_long_strings((n / 25).max(8), 103, grid.vocab)
+            } else {
+                make_strings(n, 103, grid.vocab, grid.skew)
+            };
+            (left, right)
         };
         let coll = TokenizedCollection::build(&left, &right, &tok);
         let measure = (grid.measure)(grid.threshold);
@@ -152,6 +240,15 @@ fn main() {
             assert!(
                 stats.kernel_gallop > 0,
                 "size-skew grid never fired the gallop kernel"
+            );
+        }
+        if grid.wide {
+            // The whole point of this grid: verifications must actually
+            // run multi-block merges (merge-family attribution, not
+            // gallop), or the regression guard guards nothing.
+            assert!(
+                stats.kernel_merge > 0,
+                "wide grid never ran a balanced multi-block merge"
             );
         }
 
@@ -178,8 +275,8 @@ fn main() {
         .unwrap();
         writeln!(
             txt,
-            "kernel split: merge={} gallop={}",
-            stats.kernel_merge, stats.kernel_gallop
+            "kernel split: merge={} gallop={} bitset={}",
+            stats.kernel_merge, stats.kernel_gallop, stats.kernel_bitset
         )
         .unwrap();
 
@@ -191,16 +288,25 @@ fn main() {
         // Kernel-tier delta at 1 worker: pin the scalar reference kernels,
         // time the same CSR join, restore adaptive dispatch. Outputs are
         // bit-identical either way — this isolates the kernel speedup.
+        // Interleave the two modes rep-by-rep so scheduler/frequency
+        // drift lands on both sides equally, and take best-of-N per
+        // mode (see `best_secs` for why min, not median).
         let serial = ParConfig::workers(1);
-        set_mode(KernelMode::ScalarReference);
-        let t_csr_scalar = median_secs(reps, || {
-            std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
-        });
-        set_mode(KernelMode::Adaptive);
-        let t_csr_adaptive = median_secs(reps, || {
-            std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
-        });
+        let kernel_reps = (reps * 3).max(15);
+        let mut t_csr_scalar = f64::INFINITY;
+        let mut t_csr_adaptive = f64::INFINITY;
+        for _ in 0..kernel_reps {
+            set_mode(KernelMode::ScalarReference);
+            t_csr_scalar = t_csr_scalar.min(best_secs(1, || {
+                std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
+            }));
+            set_mode(KernelMode::Adaptive);
+            t_csr_adaptive = t_csr_adaptive.min(best_secs(1, || {
+                std::hint::black_box(join_tokenized_par_side(&coll, measure, ProbeSide::Auto, &serial));
+            }));
+        }
         let kernel_speedup = t_csr_scalar / t_csr_adaptive;
+        kernel_speedups.push((grid.name, kernel_speedup));
         writeln!(
             txt,
             "kernel tier (w=1): scalar-kernel {:.3}s vs adaptive {:.3}s -> {kernel_speedup:.2}x",
@@ -265,7 +371,7 @@ fn main() {
         }
         write!(
             json_grids,
-            "    {{\"grid\": \"{}\", \"skew\": {}, \"measure\": \"{}\", \"threshold\": {}, \"vocab\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2}, \"kernel_speedup_w1\": {kernel_speedup:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"kernel_merge\": {}, \"kernel_gallop\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
+            "    {{\"grid\": \"{}\", \"skew\": {}, \"measure\": \"{}\", \"threshold\": {}, \"vocab\": {}, \"n_pairs\": {n_pairs}, \"hashmap_pairs_per_sec\": {ps_hash:.0}, \"speedup_w1\": {speedup_w1:.2}, \"kernel_speedup_w1\": {kernel_speedup:.2},\n     \"join_stats\": {{\"probes\": {}, \"candidates\": {}, \"killed_by_size\": {}, \"killed_by_position\": {}, \"killed_by_suffix\": {}, \"verified\": {}, \"verify_steps\": {}, \"kernel_merge\": {}, \"kernel_gallop\": {}, \"kernel_bitset\": {}, \"position_kill_rate\": {:.4}, \"suffix_kill_rate\": {:.4}}},\n     \"csr\": [\n{json_rows}\n     ]}}",
             grid.name,
             grid.skew,
             grid.measure_name,
@@ -280,6 +386,7 @@ fn main() {
             stats.verify_steps,
             stats.kernel_merge,
             stats.kernel_gallop,
+            stats.kernel_bitset,
             stats.position_kill_rate(),
             stats.suffix_kill_rate(),
         )
@@ -292,6 +399,37 @@ fn main() {
         "skewed-grid speedup at 1 worker: {skewed_speedup_w1:.2}x (acceptance floor: 2x CSR vs hashmap)"
     )
     .unwrap();
+
+    // Kernel-tier acceptance (non-smoke): the adaptive selector must
+    // never lose to the pinned scalar reference. After the PR 9 retune
+    // the tie is structural — adaptive only dispatches the reference's
+    // own code paths (scalar walk everywhere balanced, gallop on ≥16×
+    // skew, which the reference also takes) — so the true ratio is 1.0
+    // on every grid and the floors bound timer noise, not a real
+    // effect: 0.95 per grid, 0.97 geomean. During development this
+    // caught real regressions (blocked merge 0.89×, bitset 0.62× on
+    // the wide grid), which is exactly what the floors are for.
+    let kernel_geomean =
+        (kernel_speedups.iter().map(|(_, s)| s.ln()).sum::<f64>() / kernel_speedups.len() as f64)
+            .exp();
+    writeln!(
+        txt,
+        "kernel tier acceptance: per-grid {:?}, geomean {kernel_geomean:.3}x (floors: 0.95 per grid, 0.97 geomean)",
+        kernel_speedups
+    )
+    .unwrap();
+    if !smoke {
+        for (name, s) in &kernel_speedups {
+            assert!(
+                *s >= 0.95,
+                "adaptive kernels lost to the scalar reference on grid {name}: {s:.3}x"
+            );
+        }
+        assert!(
+            kernel_geomean >= 0.97,
+            "adaptive kernel tier lost to the scalar reference on net: geomean {kernel_geomean:.3}x"
+        );
+    }
     print!("{txt}");
 
     let json = format!(

@@ -5,7 +5,7 @@ use std::hash::{Hash, Hasher};
 
 use magellan_par::{ParConfig, ParStats};
 use magellan_simjoin::collection::TokenizedCollection;
-use magellan_simjoin::{join_tokenized_par, SetSimMeasure};
+use magellan_simjoin::{join_tokenized_par, join_tokenized_sharded, ProbeSide, SetSimMeasure};
 use magellan_table::{Table, TableError};
 use magellan_textsim::tokenize::{AlphanumericTokenizer, Tokenizer};
 
@@ -196,6 +196,10 @@ pub struct OverlapBlocker {
     pub overlap_size: usize,
     /// Tokenize into q-grams of this size instead of words, when set.
     pub qgram: Option<usize>,
+    /// Hash shards for the out-of-core join (`≤ 1` = monolithic). The
+    /// candidate set is bit-identical for every value; only peak index
+    /// memory changes.
+    pub shards: usize,
 }
 
 impl OverlapBlocker {
@@ -206,7 +210,14 @@ impl OverlapBlocker {
             r_attr: attr.to_owned(),
             overlap_size,
             qgram: None,
+            shards: 1,
         }
+    }
+
+    /// Run the underlying join in `k` hash shards (out-of-core mode).
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k;
+        self
     }
 }
 
@@ -239,11 +250,14 @@ impl Blocker for OverlapBlocker {
         // output is sorted by (l, r), so the pair stream is worker-count
         // independent.
         let coll = TokenizedCollection::build(&la, &rb, tokenizer.as_ref());
-        let (joined, stats) = join_tokenized_par(
-            &coll,
-            SetSimMeasure::OverlapSize(self.overlap_size.max(1)),
-            cfg,
-        );
+        let measure = SetSimMeasure::OverlapSize(self.overlap_size.max(1));
+        let (joined, stats) = if self.shards > 1 {
+            let (j, s, _) =
+                join_tokenized_sharded(&coll, measure, ProbeSide::Auto, self.shards, cfg);
+            (j, s)
+        } else {
+            join_tokenized_par(&coll, measure, cfg)
+        };
         Ok((
             joined
                 .into_iter()
@@ -266,6 +280,17 @@ pub struct SimJoinBlocker {
     pub measure: SetSimMeasure,
     /// Q-gram size (`None` = alphanumeric word tokens).
     pub qgram: Option<usize>,
+    /// Hash shards for the out-of-core join (`≤ 1` = monolithic);
+    /// candidate-set invariant, memory-profile only.
+    pub shards: usize,
+}
+
+impl SimJoinBlocker {
+    /// Run the underlying join in `k` hash shards (out-of-core mode).
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k;
+        self
+    }
 }
 
 impl Blocker for SimJoinBlocker {
@@ -293,7 +318,13 @@ impl Blocker for SimJoinBlocker {
             None => Box::new(AlphanumericTokenizer::as_set()),
         };
         let coll = TokenizedCollection::build(&la, &rb, tokenizer.as_ref());
-        let (joined, stats) = join_tokenized_par(&coll, self.measure, cfg);
+        let (joined, stats) = if self.shards > 1 {
+            let (j, s, _) =
+                join_tokenized_sharded(&coll, self.measure, ProbeSide::Auto, self.shards, cfg);
+            (j, s)
+        } else {
+            join_tokenized_par(&coll, self.measure, cfg)
+        };
         Ok((
             joined
                 .into_iter()
@@ -516,6 +547,7 @@ mod tests {
             r_attr: "name".into(),
             measure: SetSimMeasure::Jaccard(0.5),
             qgram: None,
+            shards: 1,
         }
         .block(&a, &b)
         .unwrap();
@@ -527,10 +559,49 @@ mod tests {
             r_attr: "name".into(),
             measure: SetSimMeasure::Jaccard(0.3),
             qgram: None,
+            shards: 1,
         }
         .block(&a, &b)
         .unwrap();
         assert!(c.contains((0, 0)));
+    }
+
+    /// The `shards` knob changes only the memory profile of the underlying
+    /// join — never the candidate set. Exercised for both sharded blockers
+    /// at several K, serial and parallel.
+    #[test]
+    fn sharded_blockers_equal_monolithic() {
+        let (a, b) = tables();
+        let base_overlap = OverlapBlocker::words("name", 1).block(&a, &b).unwrap();
+        let base_sim = SimJoinBlocker {
+            l_attr: "name".into(),
+            r_attr: "name".into(),
+            measure: SetSimMeasure::Jaccard(0.3),
+            qgram: None,
+            shards: 1,
+        }
+        .block(&a, &b)
+        .unwrap();
+        for k in [2usize, 3, 16] {
+            for cfg in [ParConfig::serial(), ParConfig::workers(4)] {
+                let (c, _) = OverlapBlocker::words("name", 1)
+                    .with_shards(k)
+                    .block_par(&a, &b, &cfg)
+                    .unwrap();
+                assert_eq!(c, base_overlap, "overlap K={k}");
+                let (c, _) = SimJoinBlocker {
+                    l_attr: "name".into(),
+                    r_attr: "name".into(),
+                    measure: SetSimMeasure::Jaccard(0.3),
+                    qgram: None,
+                    shards: 1,
+                }
+                .with_shards(k)
+                .block_par(&a, &b, &cfg)
+                .unwrap();
+                assert_eq!(c, base_sim, "simjoin K={k}");
+            }
+        }
     }
 
     #[test]

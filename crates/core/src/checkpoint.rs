@@ -3,29 +3,38 @@
 //! §4.1's production stage runs for hours over full tables; a process
 //! death at hour three should not restart blocking from scratch. The
 //! executor therefore writes a durable [`Checkpoint`] after each phase —
-//! the candidate set after blocking, the match set when done — in a small
-//! line-oriented text format (`emckpt v1`), consistent with every other
-//! persistence surface in this workspace (workflows, models).
+//! the candidate set after blocking, the match set when done.
 //!
-//! The format is deliberately dumb: a corrupt or truncated checkpoint is
-//! a **fatal** [`MagellanError::Checkpoint`] (retrying cannot fix bad
+//! Two wire formats share one parser entry point
+//! ([`Checkpoint::from_bytes`], which handshakes on the magic):
+//!
+//! - **`emckpt v1`** — the original line-oriented text format, still
+//!   written by [`Checkpoint::to_text`] and read forever (old files keep
+//!   resuming).
+//! - **`emckpt v2`** — the binary format the executor writes today
+//!   ([`Checkpoint::to_bytes`]): length-prefixed per-phase segments, each
+//!   carrying its own FNV-1a checksum, with candidate pair lists stored
+//!   as zigzag-varint deltas. A 10M-pair candidate set is a few dozen MB
+//!   instead of the multi-hundred-MB text serialization, and a torn
+//!   write is caught by the damaged segment's checksum instead of being
+//!   half-parsed into a plausible but wrong resume state.
+//!
+//! The formats are deliberately dumb: a corrupt or truncated checkpoint
+//! is a **fatal** [`MagellanError::Checkpoint`] (retrying cannot fix bad
 //! bytes), while an I/O blip during save/load is **transient** and the
 //! executor retries it under its [`magellan_faults::RetryPolicy`].
+//! The helpers [`fnv1a`], [`append_checksum`], and [`verify_checksum`]
+//! are public so other line-oriented persistence surfaces (e.g. the
+//! service-layer `emsvc v1` checkpoint) share the same trailer
+//! convention.
 //!
-//! Every checkpoint ends with a `sum fnv1a <16 hex>` trailer — an FNV-1a
-//! hash of all preceding bytes — so a torn write (half-old/half-new file
-//! after a crash mid-rename) or bit rot is detected as a precise fatal
-//! `Corrupt` error instead of being half-parsed into a plausible but
-//! wrong resume state. The helpers [`fnv1a`], [`append_checksum`], and
-//! [`verify_checksum`] are public so other line-oriented persistence
-//! surfaces (e.g. the service-layer `emsvc v1` checkpoint) share the same
-//! trailer convention.
-//!
-//! Stores are pluggable via [`CheckpointStore`]: [`MemStore`] backs the
-//! chaos suite, [`FileStore`] backs real runs, and [`FlakyStore`] wraps
-//! either with seeded transient I/O faults from a
+//! Stores are pluggable via [`CheckpointStore`] — byte-oriented at the
+//! trait level, with text convenience wrappers for the v1-era line
+//! formats (`emsvc v1`, `emstream v1`) layered on top. [`MemStore`]
+//! backs the chaos suite, [`FileStore`] backs real runs, and
+//! [`FlakyStore`] wraps either with seeded transient I/O faults from a
 //! [`magellan_faults::FaultPlan`] so the retry loop is exercised
-//! deterministically.
+//! deterministically (torn-write semantics carry over to v2 unchanged).
 
 use std::fmt;
 use std::io::Write as _;
@@ -156,6 +165,94 @@ impl Checkpoint {
             other => Err(corrupt(2, format!("unknown phase `{other}`"))),
         }
     }
+
+    /// Serialize to the binary `emckpt v2` format:
+    ///
+    /// ```text
+    /// "emckpt v2\0"                                   10-byte magic
+    /// segment := tag:u8 len:u32le payload[len] fnv1a(payload):u64le
+    ///   0x01 phase   — 0x00 (blocked) | 0x01 n_candidates:u64le (done)
+    ///   0x02 pairs   — count:u64le, then per pair zigzag-varint deltas
+    ///                  (l - prev_l, r - prev_r; prev starts at (0, 0))
+    ///   0xee end     — empty payload, marks a complete file
+    /// ```
+    ///
+    /// Blocker output is near-sorted, so the deltas are tiny and most
+    /// pairs cost 2–4 bytes instead of ~12 bytes of text. Each segment
+    /// carries its own checksum, so a torn write is pinned to the damaged
+    /// segment instead of poisoning the whole-file trailer diagnosis.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC_V2);
+        match self {
+            Checkpoint::Blocked { candidates } => {
+                push_segment(&mut out, SEG_PHASE, &[PHASE_BLOCKED]);
+                push_segment(&mut out, SEG_PAIRS, &encode_pairs(candidates));
+            }
+            Checkpoint::Done {
+                matches,
+                n_candidates,
+            } => {
+                let mut phase = vec![PHASE_DONE];
+                phase.extend_from_slice(&(*n_candidates as u64).to_le_bytes());
+                push_segment(&mut out, SEG_PHASE, &phase);
+                push_segment(&mut out, SEG_PAIRS, &encode_pairs(matches));
+            }
+        }
+        push_segment(&mut out, SEG_END, &[]);
+        out
+    }
+
+    /// Parse a checkpoint of either format, handshaking on the magic:
+    /// `emckpt v1` text parses via [`Checkpoint::from_text`] (old files
+    /// keep resuming), `emckpt v2` parses the binary segments. Anything
+    /// else — unknown magic, truncated or checksum-failed segment,
+    /// trailing bytes, out-of-range pair — is a fatal
+    /// [`MagellanError::Checkpoint`] carrying the offending byte offset.
+    pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, MagellanError> {
+        if data.starts_with(b"emckpt v1") {
+            let text = std::str::from_utf8(data)
+                .map_err(|_| corrupt(0, "v1 checkpoint is not UTF-8 text"))?;
+            return Checkpoint::from_text(text);
+        }
+        if !data.starts_with(MAGIC_V2) {
+            return Err(corrupt(
+                0,
+                "bad magic (neither `emckpt v1` nor `emckpt v2`)",
+            ));
+        }
+        let mut r = ByteReader {
+            data,
+            pos: MAGIC_V2.len(),
+        };
+        let (tag, phase_payload) = read_segment(&mut r)?;
+        if tag != SEG_PHASE {
+            return Err(corrupt_at(0, format!("expected phase segment, got tag 0x{tag:02x}")));
+        }
+        let (tag, pairs_payload) = read_segment(&mut r)?;
+        if tag != SEG_PAIRS {
+            return Err(corrupt_at(0, format!("expected pairs segment, got tag 0x{tag:02x}")));
+        }
+        let (tag, end_payload) = read_segment(&mut r)?;
+        if tag != SEG_END || !end_payload.is_empty() {
+            return Err(corrupt_at(0, "missing end segment (truncated checkpoint)"));
+        }
+        if r.pos != data.len() {
+            return Err(corrupt_at(
+                r.pos,
+                "trailing bytes after end segment (torn write or tampered checkpoint)",
+            ));
+        }
+        let pairs = decode_pairs(pairs_payload)?;
+        match phase_payload {
+            [PHASE_BLOCKED] => Ok(Checkpoint::Blocked { candidates: pairs }),
+            [PHASE_DONE, rest @ ..] if rest.len() == 8 => Ok(Checkpoint::Done {
+                matches: pairs,
+                n_candidates: u64::from_le_bytes(rest.try_into().expect("8 bytes")) as usize,
+            }),
+            _ => Err(corrupt_at(0, "malformed phase segment payload")),
+        }
+    }
 }
 
 fn write_pairs(out: &mut String, pairs: &[(u32, u32)]) {
@@ -203,6 +300,144 @@ fn expect_end<'a>(
         Some((_, l)) if l.trim() == "end" => Ok(()),
         Some((no, l)) => Err(corrupt(no + 1, format!("expected `end`, got `{l}`"))),
         None => Err(corrupt(0, "missing `end` terminator (truncated checkpoint)")),
+    }
+}
+
+/// Magic prefix of the binary v2 format. The trailing NUL can never open
+/// a v1 text file (whose magic line ends in `\n`), so the handshake in
+/// [`Checkpoint::from_bytes`] is unambiguous.
+const MAGIC_V2: &[u8; 10] = b"emckpt v2\0";
+
+const SEG_PHASE: u8 = 0x01;
+const SEG_PAIRS: u8 = 0x02;
+const SEG_END: u8 = 0xee;
+
+const PHASE_BLOCKED: u8 = 0x00;
+const PHASE_DONE: u8 = 0x01;
+
+/// Append one `tag len payload checksum` segment.
+fn push_segment(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("segment < 4 GiB").to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+}
+
+/// Bounds-checked cursor over a v2 byte buffer; every failure is a fatal
+/// corruption error carrying the byte offset.
+struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], MagellanError> {
+        if self.data.len() - self.pos < n {
+            return Err(corrupt_at(self.pos, format!("truncated {what}")));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Read one segment, verifying its checksum.
+fn read_segment<'a>(r: &mut ByteReader<'a>) -> Result<(u8, &'a [u8]), MagellanError> {
+    let at = r.pos;
+    let tag = r.take(1, "segment tag")?[0];
+    let len = u32::from_le_bytes(r.take(4, "segment length")?.try_into().expect("4 bytes"));
+    let payload = r.take(len as usize, "segment payload")?;
+    let stored = u64::from_le_bytes(r.take(8, "segment checksum")?.try_into().expect("8 bytes"));
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(corrupt_at(
+            at,
+            format!(
+                "segment 0x{tag:02x} checksum mismatch: stored {stored:016x}, \
+                 computed {computed:016x} (torn write or tampered checkpoint)"
+            ),
+        ));
+    }
+    Ok((tag, payload))
+}
+
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(payload: &[u8], pos: &mut usize) -> Result<u64, MagellanError> {
+    let mut v = 0u64;
+    for shift in 0..10 {
+        let b = *payload
+            .get(*pos)
+            .ok_or_else(|| corrupt_at(*pos, "truncated varint in pair list"))?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << (shift * 7);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(corrupt_at(*pos, "overlong varint in pair list"))
+}
+
+/// Pair-list payload: `count:u64le` then zigzag-varint deltas per pair.
+fn encode_pairs(pairs: &[(u32, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + pairs.len() * 3);
+    out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    let (mut pl, mut pr) = (0i64, 0i64);
+    for &(l, r) in pairs {
+        push_varint(&mut out, zigzag(i64::from(l) - pl));
+        push_varint(&mut out, zigzag(i64::from(r) - pr));
+        pl = i64::from(l);
+        pr = i64::from(r);
+    }
+    out
+}
+
+fn decode_pairs(payload: &[u8]) -> Result<Vec<(u32, u32)>, MagellanError> {
+    if payload.len() < 8 {
+        return Err(corrupt_at(0, "truncated pair count"));
+    }
+    let n = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) as usize;
+    let mut pos = 8;
+    let mut pairs = Vec::with_capacity(n.min(1 << 20));
+    let (mut pl, mut pr) = (0i64, 0i64);
+    for _ in 0..n {
+        let l = pl + unzigzag(read_varint(payload, &mut pos)?);
+        let r = pr + unzigzag(read_varint(payload, &mut pos)?);
+        let pair = (u32::try_from(l).ok(), u32::try_from(r).ok());
+        let (Some(l32), Some(r32)) = pair else {
+            return Err(corrupt_at(pos, format!("pair ({l}, {r}) out of u32 range")));
+        };
+        pairs.push((l32, r32));
+        (pl, pr) = (l, r);
+    }
+    if pos != payload.len() {
+        return Err(corrupt_at(pos, "trailing bytes in pair list"));
+    }
+    Ok(pairs)
+}
+
+fn corrupt_at(off: usize, msg: impl fmt::Display) -> MagellanError {
+    MagellanError::Checkpoint {
+        message: format!("corrupt checkpoint at byte {off}: {msg}"),
+        transient: false,
     }
 }
 
@@ -270,22 +505,43 @@ fn corrupt(line: usize, msg: impl fmt::Display) -> MagellanError {
     }
 }
 
-/// Where checkpoints live. `save`/`load` may fail transiently (I/O);
-/// callers retry under a [`magellan_faults::RetryPolicy`]. `load`
-/// returning `Ok(None)` means "no checkpoint yet" — a fresh run.
+/// Where checkpoints live. Byte-oriented at the trait level:
+/// `save_bytes`/`load_bytes` may fail transiently (I/O); callers retry
+/// under a [`magellan_faults::RetryPolicy`]. `load_bytes` returning
+/// `Ok(None)` means "no checkpoint yet" — a fresh run.
+///
+/// The provided [`save`](CheckpointStore::save)/[`load`](CheckpointStore::load)
+/// wrappers serve the line-oriented text formats that share these stores
+/// (`emsvc v1`, `emstream v1`): they store UTF-8 bytes, and a text
+/// caller loading non-UTF-8 bytes gets a fatal corruption error.
 pub trait CheckpointStore {
-    /// Durably replace the stored checkpoint text.
-    fn save(&mut self, text: &str) -> Result<(), MagellanError>;
-    /// Read back the stored checkpoint text, if any.
-    fn load(&mut self) -> Result<Option<String>, MagellanError>;
+    /// Durably replace the stored checkpoint bytes.
+    fn save_bytes(&mut self, data: &[u8]) -> Result<(), MagellanError>;
+    /// Read back the stored checkpoint bytes, if any.
+    fn load_bytes(&mut self) -> Result<Option<Vec<u8>>, MagellanError>;
     /// Discard any stored checkpoint.
     fn clear(&mut self) -> Result<(), MagellanError>;
+
+    /// Text convenience over [`save_bytes`](CheckpointStore::save_bytes).
+    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+        self.save_bytes(text.as_bytes())
+    }
+
+    /// Text convenience over [`load_bytes`](CheckpointStore::load_bytes).
+    fn load(&mut self) -> Result<Option<String>, MagellanError> {
+        match self.load_bytes()? {
+            None => Ok(None),
+            Some(bytes) => String::from_utf8(bytes)
+                .map(Some)
+                .map_err(|_| corrupt(0, "stored checkpoint is not UTF-8 text")),
+        }
+    }
 }
 
 /// In-memory store for tests and the chaos suite.
 #[derive(Debug, Clone, Default)]
 pub struct MemStore {
-    text: Option<String>,
+    data: Option<Vec<u8>>,
 }
 
 impl MemStore {
@@ -294,24 +550,29 @@ impl MemStore {
         MemStore::default()
     }
 
-    /// The raw stored text, for assertions.
+    /// The stored text, for assertions (`None` if binary is stored).
     pub fn raw(&self) -> Option<&str> {
-        self.text.as_deref()
+        self.data.as_deref().and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    /// The raw stored bytes, for assertions.
+    pub fn raw_bytes(&self) -> Option<&[u8]> {
+        self.data.as_deref()
     }
 }
 
 impl CheckpointStore for MemStore {
-    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
-        self.text = Some(text.to_string());
+    fn save_bytes(&mut self, data: &[u8]) -> Result<(), MagellanError> {
+        self.data = Some(data.to_vec());
         Ok(())
     }
 
-    fn load(&mut self) -> Result<Option<String>, MagellanError> {
-        Ok(self.text.clone())
+    fn load_bytes(&mut self) -> Result<Option<Vec<u8>>, MagellanError> {
+        Ok(self.data.clone())
     }
 
     fn clear(&mut self) -> Result<(), MagellanError> {
-        self.text = None;
+        self.data = None;
         Ok(())
     }
 }
@@ -336,18 +597,18 @@ impl FileStore {
 }
 
 impl CheckpointStore for FileStore {
-    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+    fn save_bytes(&mut self, data: &[u8]) -> Result<(), MagellanError> {
         let tmp = self.path.with_extension("tmp");
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
+        f.write_all(data)?;
         f.sync_all()?;
         std::fs::rename(&tmp, &self.path)?;
         Ok(())
     }
 
-    fn load(&mut self) -> Result<Option<String>, MagellanError> {
-        match std::fs::read_to_string(&self.path) {
-            Ok(s) => Ok(Some(s)),
+    fn load_bytes(&mut self) -> Result<Option<Vec<u8>>, MagellanError> {
+        match std::fs::read(&self.path) {
+            Ok(b) => Ok(Some(b)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
@@ -416,14 +677,14 @@ impl<S> FlakyStore<S> {
 }
 
 impl<S: CheckpointStore> CheckpointStore for FlakyStore<S> {
-    fn save(&mut self, text: &str) -> Result<(), MagellanError> {
+    fn save_bytes(&mut self, data: &[u8]) -> Result<(), MagellanError> {
         self.gate(0, OP_SAVE, "save")?;
-        self.inner.save(text)
+        self.inner.save_bytes(data)
     }
 
-    fn load(&mut self) -> Result<Option<String>, MagellanError> {
+    fn load_bytes(&mut self) -> Result<Option<Vec<u8>>, MagellanError> {
         self.gate(1, OP_LOAD, "load")?;
-        self.inner.load()
+        self.inner.load_bytes()
     }
 
     fn clear(&mut self) -> Result<(), MagellanError> {
@@ -579,6 +840,162 @@ mod tests {
         let mut reblessed = torn[..payload_end].to_string();
         append_checksum(&mut reblessed);
         assert!(Checkpoint::from_text(&reblessed).is_ok());
+    }
+
+    #[test]
+    fn v2_round_trips_and_handshakes_with_v1() {
+        let blocked = Checkpoint::Blocked {
+            candidates: vec![(0, 1), (2, 3), (7, 7), (7, 9)],
+        };
+        let done = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9)],
+            n_candidates: 42,
+        };
+        let empty = Checkpoint::Done {
+            matches: vec![],
+            n_candidates: 0,
+        };
+        for ck in [&blocked, &done, &empty] {
+            let bytes = ck.to_bytes();
+            assert!(bytes.starts_with(b"emckpt v2\0"));
+            assert_eq!(&Checkpoint::from_bytes(&bytes).unwrap(), ck);
+            // Cross-version: v1 text bytes parse through the same entry
+            // point — old checkpoint files keep resuming.
+            assert_eq!(&Checkpoint::from_bytes(ck.to_text().as_bytes()).unwrap(), ck);
+        }
+        // Deltas go negative when pairs are not sorted; zigzag handles it.
+        let unsorted = Checkpoint::Blocked {
+            candidates: vec![(9, 100), (0, 3), (u32::MAX, 0)],
+        };
+        assert_eq!(Checkpoint::from_bytes(&unsorted.to_bytes()).unwrap(), unsorted);
+    }
+
+    #[test]
+    fn v2_corruption_matrix_is_fatal() {
+        let ck = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9), (11, 13)],
+            n_candidates: 42,
+        };
+        let bytes = ck.to_bytes();
+        // Every strict prefix is a truncation error, never a parse.
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(err.fatal(), "prefix of {cut} bytes must be fatal");
+        }
+        // Flipping any single byte after the magic is caught — by a
+        // segment checksum, a structural check, or the length walk.
+        for i in MAGIC_V2.len()..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Checkpoint::from_bytes(&bad).is_err(),
+                "flipped byte {i} must not parse"
+            );
+        }
+        // Specific diagnoses.
+        let err = Checkpoint::from_bytes(b"emtbl v1\0\0").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        let mut pairs_flipped = bytes.clone();
+        let pair_region = bytes.len() - 13 - 8 - 2; // inside the pairs payload
+        pairs_flipped[pair_region] ^= 0x01;
+        let err = Checkpoint::from_bytes(&pairs_flipped).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let err = Checkpoint::from_bytes(&trailing).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+        // Unknown phase code: build a structurally valid file by hand.
+        let mut weird = Vec::from(&MAGIC_V2[..]);
+        push_segment(&mut weird, SEG_PHASE, &[0x7f]);
+        push_segment(&mut weird, SEG_PAIRS, &encode_pairs(&[]));
+        push_segment(&mut weird, SEG_END, &[]);
+        let err = Checkpoint::from_bytes(&weird).unwrap_err();
+        assert!(err.to_string().contains("phase segment"), "{err}");
+    }
+
+    #[test]
+    fn v2_torn_write_through_flaky_store_is_detected() {
+        // Same scenario as the v1 torn-write test, on the binary format:
+        // a crash mid-save splices the new file's head onto the old
+        // file's tail. The pairs segment's checksum covers the old
+        // payload, so the hybrid is a precise fatal error.
+        let old = Checkpoint::Done {
+            matches: vec![(1, 2), (5, 9)],
+            n_candidates: 42,
+        }
+        .to_bytes();
+        let new = Checkpoint::Done {
+            matches: vec![(3, 4), (6, 8)],
+            n_candidates: 43,
+        }
+        .to_bytes();
+        assert_eq!(old.len(), new.len(), "same shape so the splice stays segment-valid");
+        // Tear inside the pairs payload: keep the new phase segment and
+        // first pair's deltas, splice in the old tail (last deltas, old
+        // checksum, end segment).
+        let cut = new.len() - 13 /* end segment */ - 8 /* pairs checksum */ - 2;
+        let torn: Vec<u8> = new[..cut].iter().chain(&old[cut..]).copied().collect();
+        assert_ne!(torn, old);
+        assert_ne!(torn, new);
+        let plan = FaultPlan {
+            io_error_per_mille: 1000,
+            ..FaultPlan::seeded(17)
+        };
+        let mut store = FlakyStore::new(MemStore::new(), plan);
+        store.inner.save_bytes(&torn).unwrap();
+        let mut clock = magellan_faults::SimClock::new();
+        let loaded = magellan_faults::run_with_retry(
+            &magellan_faults::RetryPolicy::default(),
+            &mut clock,
+            |_| store.load_bytes(),
+        )
+        .expect("transient injected I/O converges under retry")
+        .expect("a checkpoint is present");
+        let err = Checkpoint::from_bytes(&loaded).unwrap_err();
+        assert!(err.fatal(), "torn write must be fatal, not retried");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Control: reblessing the torn pairs segment with a freshly
+        // computed checksum *would* parse (into the wrong pairs) — the
+        // per-segment checksum is what catches the tear.
+        let payload_start = torn.len() - 13 - 8 - 12; // count u64 + 4 delta bytes
+        let sum = fnv1a(&torn[payload_start..torn.len() - 13 - 8]);
+        let mut reblessed = torn.clone();
+        reblessed[torn.len() - 13 - 8..torn.len() - 13].copy_from_slice(&sum.to_le_bytes());
+        let wrong = Checkpoint::from_bytes(&reblessed).unwrap();
+        assert_ne!(wrong.to_bytes(), old);
+        assert_ne!(wrong.to_bytes(), new);
+    }
+
+    #[test]
+    fn v2_is_at_most_half_the_text_size() {
+        // Blocker output order: runs of ascending (l, r) — the delta
+        // encoding's home turf, but the bound must hold broadly.
+        let candidates: Vec<(u32, u32)> = (0..10_000u32)
+            .map(|i| (i / 4 + 1000, (i % 4) * 37 + i))
+            .collect();
+        let ck = Checkpoint::Blocked { candidates };
+        let text_len = ck.to_text().len();
+        let bin_len = ck.to_bytes().len();
+        assert!(
+            bin_len * 2 <= text_len,
+            "v2 ({bin_len} B) must be <= half of v1 text ({text_len} B)"
+        );
+        assert_eq!(Checkpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn text_wrappers_ride_on_byte_store() {
+        let mut s = MemStore::new();
+        s.save("emsvc v1\nhello\n").unwrap();
+        assert_eq!(s.raw(), Some("emsvc v1\nhello\n"));
+        assert_eq!(s.load().unwrap().as_deref(), Some("emsvc v1\nhello\n"));
+        // Binary bytes stored, text loader: fatal corruption, not UB.
+        s.save_bytes(&[0xff, 0xfe, 0x00]).unwrap();
+        assert!(s.raw().is_none());
+        assert_eq!(s.raw_bytes(), Some(&[0xff, 0xfe, 0x00][..]));
+        let err = s.load().unwrap_err();
+        assert!(err.fatal());
+        assert!(err.to_string().contains("not UTF-8"), "{err}");
     }
 
     #[test]

@@ -412,9 +412,9 @@ impl ProductionExecutor {
         let run_span = magellan_obs::span("run", 0);
 
         // Pick up where a previous invocation left off, if anywhere.
-        let resume = match retry_store(&opts.retry, &mut clock, &mut tel, || store.load())? {
-            Some(text) => {
-                let ck = Checkpoint::from_text(&text)?;
+        let resume = match retry_store(&opts.retry, &mut clock, &mut tel, || store.load_bytes())? {
+            Some(bytes) => {
+                let ck = Checkpoint::from_bytes(&bytes)?;
                 tel.resumed_from = Some(ck.phase());
                 magellan_obs::event(
                     "resumed",
@@ -468,11 +468,11 @@ impl ProductionExecutor {
                 tel.absorb_stats(&stats);
                 let elapsed = t0.elapsed();
                 retry_store(&opts.retry, &mut clock, &mut tel, || {
-                    store.save(
+                    store.save_bytes(
                         &Checkpoint::Blocked {
                             candidates: c.pairs().to_vec(),
                         }
-                        .to_text(),
+                        .to_bytes(),
                     )
                 })?;
                 tel.checkpoints_written += 1;
@@ -533,12 +533,12 @@ impl ProductionExecutor {
         drop(matching_span);
 
         retry_store(&opts.retry, &mut clock, &mut tel, || {
-            store.save(
+            store.save_bytes(
                 &Checkpoint::Done {
                     matches: decisions.clone(),
                     n_candidates: pairs.len(),
                 }
-                .to_text(),
+                .to_bytes(),
             )
         })?;
         tel.checkpoints_written += 1;
@@ -780,8 +780,8 @@ mod tests {
         assert_eq!(rec.recovery.panics_contained, 0);
         assert_eq!(rec.recovery.checkpoints_written, 2);
         assert_eq!(rec.recovery.resumed_from, None);
-        // The Done checkpoint is durable and parseable.
-        let ck = Checkpoint::from_text(store.raw().unwrap()).unwrap();
+        // The Done checkpoint is durable and parseable (binary v2).
+        let ck = Checkpoint::from_bytes(store.raw_bytes().unwrap()).unwrap();
         assert_eq!(ck.phase(), Phase::Matching);
     }
 

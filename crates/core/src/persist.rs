@@ -108,6 +108,7 @@ impl BlockerSpec {
                 r_attr: r_attr.clone(),
                 overlap_size: *overlap_size,
                 qgram: *qgram,
+                shards: 1,
             }),
             BlockerSpec::SimJoin {
                 l_attr,
@@ -119,6 +120,7 @@ impl BlockerSpec {
                 r_attr: r_attr.clone(),
                 measure: *measure,
                 qgram: *qgram,
+                shards: 1,
             }),
             BlockerSpec::SortedNeighborhood {
                 l_attr,

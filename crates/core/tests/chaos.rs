@@ -114,8 +114,8 @@ fn seeded_fault_plans_heal_to_bit_identical_results() {
         any_store_retry |= rec.recovery.store_retries > 0;
         // The durable checkpoint reflects the finished run.
         let ck = loop {
-            match store.load() {
-                Ok(text) => break Checkpoint::from_text(&text.expect("checkpoint")).unwrap(),
+            match store.load_bytes() {
+                Ok(bytes) => break Checkpoint::from_bytes(&bytes.expect("checkpoint")).unwrap(),
                 Err(e) => assert!(e.transient()),
             }
         };

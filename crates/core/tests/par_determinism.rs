@@ -100,13 +100,27 @@ proptest! {
                 r_attr: "name".into(),
                 overlap_size: 2,
                 qgram: Some(3),
+                shards: 1,
             }),
             Box::new(SimJoinBlocker {
                 l_attr: "name".into(),
                 r_attr: "name".into(),
                 measure: SetSimMeasure::Jaccard(0.4),
                 qgram: None,
+                shards: 1,
             }),
+            // Sharded variants must emit the same candidate set as the
+            // monolithic ones above (covered pairwise in block's own tests;
+            // here they ride the serial-vs-parallel determinism check).
+            Box::new(OverlapBlocker::words("name", 1).with_shards(4)),
+            Box::new(SimJoinBlocker {
+                l_attr: "name".into(),
+                r_attr: "name".into(),
+                measure: SetSimMeasure::Jaccard(0.4),
+                qgram: None,
+                shards: 1,
+            }
+            .with_shards(3)),
             Box::new(SortedNeighborhoodBlocker {
                 l_attr: "name".into(),
                 r_attr: "name".into(),

@@ -309,15 +309,21 @@ pub struct JoinStats {
     /// Regions in which cost-based probe-side selection swapped the
     /// probe side (indexed the left collection, probed with the right).
     pub probe_swaps: usize,
-    /// Verification merges answered by the merge family (the
-    /// block-branchless kernel, or the preserved scalar merge when the
-    /// whole merge fits in one bound-check block). Selection is a pure
-    /// function of the operand lengths, so this splits
-    /// [`JoinStats::verified`] deterministically.
+    /// Verification merges answered by the merge family (the scalar
+    /// reference walk — which after the PR 9 retune serves every
+    /// balanced shape — or the block-branchless kernel if a caller
+    /// dispatches it explicitly). Selection is a pure function of the
+    /// operand lengths, so this splits [`JoinStats::verified`]
+    /// deterministically.
     pub kernel_merge: usize,
     /// Verification merges answered by the galloping kernel (operand
     /// skew at or beyond the shared `GALLOP_RATIO`).
     pub kernel_gallop: usize,
+    /// Verification merges answered by the bitset/popcount kernel.
+    /// Zero under the default policy (the kernel measured slower than
+    /// the scalar walk at every tested shape); stays dispatchable for
+    /// callers that select it explicitly.
+    pub kernel_bitset: usize,
     /// Edit-join candidates killed by the q-gram signature prefilter
     /// before any banded-DP cell was computed.
     pub killed_by_qgram_sig: usize,
@@ -372,6 +378,7 @@ impl JoinStats {
         obs.counter_add("magellan_simjoin_probe_swaps_total", self.probe_swaps as u64);
         obs.counter_add("magellan_simjoin_kernel_merge_total", self.kernel_merge as u64);
         obs.counter_add("magellan_simjoin_kernel_gallop_total", self.kernel_gallop as u64);
+        obs.counter_add("magellan_simjoin_kernel_bitset_total", self.kernel_bitset as u64);
         obs.counter_add(
             "magellan_simjoin_killed_by_qgram_sig_total",
             self.killed_by_qgram_sig as u64,
@@ -413,6 +420,7 @@ impl JoinStats {
         self.probe_swaps += other.probe_swaps;
         self.kernel_merge += other.kernel_merge;
         self.kernel_gallop += other.kernel_gallop;
+        self.kernel_bitset += other.kernel_bitset;
         self.killed_by_qgram_sig += other.killed_by_qgram_sig;
         self.qgram_sig_checked += other.qgram_sig_checked;
         self.delta_probes += other.delta_probes;
@@ -933,6 +941,7 @@ mod tests {
                 probe_swaps: 1,
                 kernel_merge: 30,
                 kernel_gallop: 10,
+                kernel_bitset: 4,
                 killed_by_qgram_sig: 6,
                 qgram_sig_checked: 12,
                 delta_probes: 4,
@@ -973,6 +982,7 @@ mod tests {
                 probe_swaps: 0,
                 kernel_merge: 25,
                 kernel_gallop: 5,
+                kernel_bitset: 2,
                 killed_by_qgram_sig: 2,
                 qgram_sig_checked: 4,
                 delta_probes: 1,
@@ -1012,6 +1022,7 @@ mod tests {
         assert_eq!(a.join.probe_swaps, 1);
         assert_eq!(a.join.kernel_merge, 55);
         assert_eq!(a.join.kernel_gallop, 15);
+        assert_eq!(a.join.kernel_bitset, 6);
         assert_eq!(a.join.killed_by_qgram_sig, 8);
         assert_eq!(a.join.qgram_sig_checked, 16);
         assert_eq!(a.join.delta_probes, 5);

@@ -52,7 +52,7 @@ use magellan_textsim::tokenize::Tokenizer;
 
 use crate::index::PrefixIndex;
 use crate::join::{set_sim_join, JoinPair, SetSimMeasure};
-use crate::verify::{overlap_sorted_bounded, verify_kernel};
+use crate::verify::{overlap_sorted_bounded_with, verify_kernel};
 
 /// Which collection a mutation targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -723,11 +723,13 @@ fn probe_delta_one(
         let sy = y.len();
         let need = measure.min_overlap(sx, sy);
         stats.verified += 1;
-        match verify_kernel(x, y) {
+        let kernel = verify_kernel(x, y);
+        match kernel {
             magellan_textsim::kernels::Kernel::Gallop => stats.kernel_gallop += 1,
+            magellan_textsim::kernels::Kernel::Bitset => stats.kernel_bitset += 1,
             _ => stats.kernel_merge += 1,
         }
-        match overlap_sorted_bounded(x, y, need, &mut stats.verify_steps) {
+        match overlap_sorted_bounded_with(kernel, x, y, need, &mut stats.verify_steps) {
             None => stats.killed_by_suffix += 1,
             Some(overlap) => {
                 let (l, r) = if probe_is_left {

@@ -165,6 +165,42 @@ impl PrefixIndex {
     pub fn n_postings(&self) -> usize {
         self.postings.len()
     }
+
+    /// Heap bytes held by the index's three arrays — the number the
+    /// sharded join budgets against. Matches [`estimate_index_bytes`]
+    /// exactly for the same record set.
+    pub fn index_bytes(&self) -> usize {
+        self.postings.len() * std::mem::size_of::<Posting>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.prefix_lens.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Bytes [`PrefixIndex::build`] would allocate for `records` — computed
+/// without building, so shard planning can size K before paying for any
+/// index. Exact (same arrays, same element counts), not an estimate of
+/// actual RSS.
+pub fn estimate_index_bytes(
+    records: &[Vec<u32>],
+    prefix_len_of: impl Fn(usize) -> usize,
+) -> usize {
+    let mut n_postings = 0usize;
+    let mut max_token: u32 = 0;
+    for rec in records {
+        let plen = prefix_len_of(rec.len()).min(rec.len());
+        n_postings += plen;
+        for &tok in &rec[..plen] {
+            max_token = max_token.max(tok);
+        }
+    }
+    let n_tokens = if n_postings == 0 {
+        0
+    } else {
+        max_token as usize + 1
+    };
+    n_postings * std::mem::size_of::<Posting>()
+        + (n_tokens + 1) * std::mem::size_of::<u32>()
+        + records.len() * std::mem::size_of::<u32>()
 }
 
 #[cfg(test)]

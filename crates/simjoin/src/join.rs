@@ -37,7 +37,7 @@ use magellan_textsim::tokenize::Tokenizer;
 use crate::collection::TokenizedCollection;
 use crate::filters;
 use crate::index::PrefixIndex;
-use crate::verify::{overlap_sorted_bounded, verify_kernel};
+use crate::verify::{overlap_sorted_bounded_with, verify_kernel};
 
 /// A similarity measure + threshold for a set-similarity join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,16 +142,16 @@ pub enum ProbeSide {
 }
 
 /// The resolved orientation of one join run.
-struct ProbePlan<'a> {
-    probe: &'a [Vec<u32>],
-    indexed: &'a [Vec<u32>],
+pub(crate) struct ProbePlan<'a> {
+    pub(crate) probe: &'a [Vec<u32>],
+    pub(crate) indexed: &'a [Vec<u32>],
     /// `true` when probing with the *right* collection — emitted pairs
     /// then put the indexed rid in `l` and the probe rid in `r`.
-    swap: bool,
+    pub(crate) swap: bool,
 }
 
 impl<'a> ProbePlan<'a> {
-    fn choose(coll: &'a TokenizedCollection, side: ProbeSide) -> Self {
+    pub(crate) fn choose(coll: &'a TokenizedCollection, side: ProbeSide) -> Self {
         let swap = match side {
             ProbeSide::Left => false,
             ProbeSide::Right => true,
@@ -204,7 +204,7 @@ struct Slot {
 const DEAD: u32 = u32::MAX;
 
 /// Reusable probe scratch (stamp-validated, never cleared).
-struct Scratch {
+pub(crate) struct Scratch {
     slots: Vec<Slot>,
     /// Candidates touched by the current probe, in first-touch order.
     touched: Vec<u32>,
@@ -223,7 +223,7 @@ impl Scratch {
     /// Grow (never shrink) to cover `n_indexed` records. Existing slots
     /// keep their stamps — stale entries are unreachable by construction,
     /// so growth is the only maintenance reuse ever needs.
-    fn ensure(&mut self, n_indexed: usize) {
+    pub(crate) fn ensure(&mut self, n_indexed: usize) {
         if self.slots.len() < n_indexed {
             self.slots.resize(
                 n_indexed,
@@ -242,7 +242,7 @@ impl Scratch {
 /// Process-wide probe-stamp allocator. Each join region reserves one
 /// contiguous block of stamps (one per probe record), so stamps are
 /// unique across every join and chunk a thread's scratch ever serves.
-static PROBE_STAMPS: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PROBE_STAMPS: AtomicU64 = AtomicU64::new(0);
 
 std::thread_local! {
     /// The worker's probe scratch. Chunks used to allocate (and zero) an
@@ -250,7 +250,7 @@ std::thread_local! {
     /// the worker count, that overhead grew exactly when parallelism was
     /// supposed to help. The thread-local is allocated once per thread
     /// and revalidated purely by stamps.
-    static PROBE_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new(0));
+    pub(crate) static PROBE_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new(0));
 }
 
 /// Join two string collections. `None` / empty-token records never match
@@ -341,7 +341,7 @@ pub fn join_tokenized_stats(
 /// size → positional → suffix cascade. Pure in `(probe record, index)`:
 /// emitted pairs and every counter increment are chunking-independent.
 #[allow(clippy::too_many_arguments)]
-fn probe_one(
+pub(crate) fn probe_one(
     probe_rid: usize,
     stamp: u64,
     x: &[u32],
@@ -433,12 +433,19 @@ fn probe_one(
         // Selection telemetry: which kernel answers this merge is a pure
         // function of the operand lengths (and the process-wide mode), so
         // the split is worker-count invariant like every other counter.
-        match verify_kernel(rest_x, rest_y) {
+        let kernel = verify_kernel(rest_x, rest_y);
+        match kernel {
             magellan_textsim::kernels::Kernel::Gallop => stats.kernel_gallop += 1,
+            magellan_textsim::kernels::Kernel::Bitset => stats.kernel_bitset += 1,
             _ => stats.kernel_merge += 1,
         }
-        match overlap_sorted_bounded(rest_x, rest_y, need.saturating_sub(cnt), &mut stats.verify_steps)
-        {
+        match overlap_sorted_bounded_with(
+            kernel,
+            rest_x,
+            rest_y,
+            need.saturating_sub(cnt),
+            &mut stats.verify_steps,
+        ) {
             None => stats.killed_by_suffix += 1,
             Some(sub) => {
                 let overlap = cnt + sub;
@@ -768,7 +775,10 @@ mod tests {
         assert_eq!(serial.pairs, out.len());
         assert!(serial.probes > 0 && serial.verify_steps > 0);
         // Every verification merge is attributed to exactly one kernel.
-        assert_eq!(serial.kernel_merge + serial.kernel_gallop, serial.verified);
+        assert_eq!(
+            serial.kernel_merge + serial.kernel_gallop + serial.kernel_bitset,
+            serial.verified
+        );
         for workers in [1, 4] {
             let (pout, pstats) =
                 join_tokenized_par(&coll, measure, &ParConfig::workers(workers));
@@ -785,7 +795,8 @@ mod tests {
                     pj.verify_steps,
                     pj.pairs,
                     pj.kernel_merge,
-                    pj.kernel_gallop
+                    pj.kernel_gallop,
+                    pj.kernel_bitset
                 ),
                 (
                     serial.probes,
@@ -797,7 +808,8 @@ mod tests {
                     serial.verify_steps,
                     serial.pairs,
                     serial.kernel_merge,
-                    serial.kernel_gallop
+                    serial.kernel_gallop,
+                    serial.kernel_bitset
                 ),
                 "workers={workers}"
             );

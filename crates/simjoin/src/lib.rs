@@ -27,6 +27,13 @@
 //! against the preserved pre-CSR engine ([`reference`]). Per-stage kill
 //! counters surface through [`magellan_par::JoinStats`].
 //!
+//! The **out-of-core tier** ([`shard`]) hash-partitions the indexed side
+//! into K shards (splitmix64 of each record's rarest token), builds and
+//! probes one shard index at a time under a fixed memory budget
+//! ([`shard::shards_for_budget`]), and merges candidate streams into the
+//! same `(l, r)`-sorted order — bit-identical to the monolithic join at
+//! any (K, worker count).
+//!
 //! The **incremental tier** ([`incremental`]) maintains the same join
 //! under record insert/delete/update: tombstoned CSR postings + a tail
 //! overlay, periodic compaction, and delta probes that emit signed
@@ -48,6 +55,7 @@ pub mod incremental;
 pub mod index;
 pub mod join;
 pub mod reference;
+pub mod shard;
 pub mod verify;
 
 pub use collection::TokenizedCollection;
@@ -58,4 +66,5 @@ pub use join::{
 };
 pub use magellan_par::JoinStats;
 pub use reference::join_tokenized_hashmap;
-pub use verify::overlap_sorted_bounded;
+pub use shard::{join_tokenized_sharded, shards_for_budget, ShardStats};
+pub use verify::{overlap_sorted_bounded, overlap_sorted_bounded_with};

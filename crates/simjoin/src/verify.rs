@@ -66,7 +66,23 @@ pub const BOUND_CHECK_INTERVAL: usize = 32;
 /// every input; see the module docs for why.
 #[inline]
 pub fn overlap_sorted_bounded(a: &[u32], b: &[u32], need: usize, steps: &mut usize) -> Option<usize> {
-    match verify_kernel(a, b) {
+    overlap_sorted_bounded_with(verify_kernel(a, b), a, b, need, steps)
+}
+
+/// [`overlap_sorted_bounded`] with the kernel choice supplied by the
+/// caller. The join's verify stage already calls [`verify_kernel`] once
+/// for its selection telemetry — this entry lets it reuse that choice
+/// instead of re-deriving it per candidate (the dispatch arithmetic was
+/// a measurable fraction of verification on tiny word-set operands).
+#[inline]
+pub fn overlap_sorted_bounded_with(
+    kernel: Kernel,
+    a: &[u32],
+    b: &[u32],
+    need: usize,
+    steps: &mut usize,
+) -> Option<usize> {
+    match kernel {
         Kernel::Scalar => overlap_sorted_bounded_scalar(a, b, need, steps),
         Kernel::Gallop => {
             if a.len() <= b.len() {
@@ -75,33 +91,74 @@ pub fn overlap_sorted_bounded(a: &[u32], b: &[u32], need: usize, steps: &mut usi
                 gallop_overlap(b, a, need, steps)
             }
         }
-        _ => merge_overlap_blocked(a, b, need, steps),
+        Kernel::Bitset => bitset_overlap(a, b, need, steps),
+        Kernel::Merge => merge_overlap_blocked(a, b, need, steps),
+    }
+}
+
+/// Bounded overlap by the bitset/popcount kernel: the exact overlap is
+/// computed word-parallel over the overlapping id span (no early exit —
+/// rasterization is so much cheaper per element that a bound could only
+/// slow it down), then compared against `need`. Exactness comes from
+/// [`kernels::intersect_bitset`]'s kernel contract, so the result
+/// matches the scalar reference on every input. Steps telemetry charges
+/// one step per rasterized element — a pure function of the operands,
+/// like every other kernel's count.
+#[inline]
+fn bitset_overlap(a: &[u32], b: &[u32], need: usize, steps: &mut usize) -> Option<usize> {
+    *steps += a.len() + b.len();
+    let n = kernels::intersect_bitset(a, b);
+    if n >= need {
+        Some(n)
+    } else {
+        None
     }
 }
 
 /// Which verification kernel [`overlap_sorted_bounded`] will use for
-/// these operands — a pure function of the slice lengths and the
+/// these operands — a pure function of the operand lengths and the
 /// process-wide kernel mode, so the selection counters built from it
 /// ([`magellan_par::JoinStats`]) are deterministic.
 ///
 /// Operands whose whole merge fits inside one
 /// [`BOUND_CHECK_INTERVAL`]-step block select the scalar reference:
-/// block-coarsening the bound check cannot save anything there, while
-/// the scalar path's per-element bound still buys its early failure
-/// exits.
+/// block-coarsening the bound check cannot save anything there, and a
+/// head-to-head grid measurement (PR 9) confirmed the per-element bound
+/// — which resolves typical word-set verifications in ~1–2 steps —
+/// beats running the branchless block to completion.
 #[inline]
 pub fn verify_kernel(a: &[u32], b: &[u32]) -> Kernel {
     if kernels::mode() == KernelMode::ScalarReference {
         return Kernel::Scalar;
     }
-    if a.len() >= GALLOP_RATIO.saturating_mul(b.len().max(1))
+    // Single-block operands first: one add + compare answers the
+    // overwhelmingly common word-set shape before any ratio arithmetic
+    // runs. They stay on the scalar reference — measured head-to-head
+    // (PR 9), its per-element failure bound resolves these merges in
+    // ~1–2 steps, which beats running the branchless block to the end;
+    // the branchless merge only wins once the merge is long enough to
+    // amortize (multi-block shapes below).
+    if a.len() + b.len() <= BOUND_CHECK_INTERVAL {
+        Kernel::Scalar
+    } else if a.len() >= GALLOP_RATIO.saturating_mul(b.len().max(1))
         || b.len() >= GALLOP_RATIO.saturating_mul(a.len().max(1))
     {
         Kernel::Gallop
-    } else if a.len() + b.len() <= BOUND_CHECK_INTERVAL {
-        Kernel::Scalar
     } else {
-        Kernel::Merge
+        // Balanced multi-block operands also stay on the scalar
+        // reference. This is a measured decision (PR 9), not an
+        // oversight: LLVM already compiles the reference's three-way
+        // `match` into branchless select/cmov code, so the
+        // "block-branchless" merge buys nothing and pays for its block
+        // bookkeeping (0.89× at whole-join level on a wide sparse
+        // near-duplicate grid whose verifications all run the merge to
+        // completion), and rasterizing to a bitmap loses the
+        // per-element failure bound entirely (0.62× on wide dense
+        // grids). Both kernels remain dispatchable through
+        // [`overlap_sorted_bounded_with`] and contract-tested against
+        // the reference; the adaptive policy just never selects a
+        // kernel that measures slower than the path it replaces.
+        Kernel::Scalar
     }
 }
 
@@ -419,8 +476,13 @@ mod tests {
         // Single-block operands stay on the scalar reference.
         assert_eq!(verify_kernel(&[1, 2, 3], &[4, 5]), Kernel::Scalar);
         assert_eq!(verify_kernel(&[], &[]), Kernel::Scalar);
+        // Balanced multi-block operands stay scalar too — dense or
+        // sparse, the reference walk measured fastest (see
+        // `verify_kernel`); only a ≥16× length ratio changes kernels.
         let mid: Vec<u32> = (0..20).collect();
-        assert_eq!(verify_kernel(&mid, &mid), Kernel::Merge);
+        assert_eq!(verify_kernel(&mid, &mid), Kernel::Scalar);
+        let sparse: Vec<u32> = (0..20).map(|i| i * 1000).collect();
+        assert_eq!(verify_kernel(&sparse, &sparse), Kernel::Scalar);
         let long: Vec<u32> = (0..100).collect();
         assert_eq!(verify_kernel(&[1], &long), Kernel::Gallop);
         assert_eq!(verify_kernel(&long, &[1]), Kernel::Gallop);

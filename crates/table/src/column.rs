@@ -115,6 +115,18 @@ impl Column {
         Ok(())
     }
 
+    /// Append all cells of a same-dtype column (the batch-flush path of
+    /// streaming ingest). Panics on dtype mismatch — callers validate.
+    pub fn append(&mut self, other: Column) {
+        match (self, other) {
+            (Column::Bool(v), Column::Bool(mut o)) => v.append(&mut o),
+            (Column::Int(v), Column::Int(mut o)) => v.append(&mut o),
+            (Column::Float(v), Column::Float(mut o)) => v.append(&mut o),
+            (Column::Str(v), Column::Str(mut o)) => v.append(&mut o),
+            _ => panic!("Column::append dtype mismatch (caller must validate)"),
+        }
+    }
+
     /// Number of null cells.
     pub fn null_count(&self) -> usize {
         match self {

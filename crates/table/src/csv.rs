@@ -8,11 +8,17 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+use crate::emtbl::ColumnarBuilder;
 use crate::error::TableError;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::{Dtype, Value};
 use crate::Result;
+
+/// Rows staged per columnar batch during streaming ingest. Bounds the
+/// working set of a CSV read to one batch beyond the table's own
+/// columns, independent of file size.
+const CSV_BATCH_ROWS: usize = 8192;
 
 /// Physical-line reader that charges every failure to a 1-based line
 /// number. Unlike [`BufRead::lines`], invalid UTF-8 is a [`TableError::Csv`]
@@ -145,7 +151,12 @@ pub fn read_csv<R: Read>(
         });
     }
 
+    // Streaming ingest: records are parsed straight into a bounded
+    // columnar batch (one reused row buffer, no per-file row Vec) and
+    // flushed into the table's columns every CSV_BATCH_ROWS rows.
     let mut table = Table::new(name, schema);
+    let mut builder = ColumnarBuilder::new(table.schema().clone(), CSV_BATCH_ROWS);
+    let mut row_buf: Vec<Value> = Vec::with_capacity(table.ncols());
     let mut pending: Option<String> = None;
     while let Some(line) = lines.next_line()? {
         let line_no = lines.line_no;
@@ -178,11 +189,14 @@ pub fn read_csv<R: Read>(
                 ),
             });
         }
-        let mut row = Vec::with_capacity(fields.len());
-        for (field, decl) in fields.into_iter().zip(table.schema().fields().to_vec()) {
-            row.push(parse_cell(&field, decl.dtype, line_no)?);
+        row_buf.clear();
+        for (field, decl) in fields.iter().zip(builder.schema().fields()) {
+            row_buf.push(parse_cell(field, decl.dtype, line_no)?);
         }
-        table.push_row(row)?;
+        builder.push_row(&mut row_buf)?;
+        if builder.is_full() {
+            table.append_batch(builder.take_batch())?;
+        }
     }
     if pending.is_some() {
         return Err(TableError::Csv {
@@ -190,6 +204,7 @@ pub fn read_csv<R: Read>(
             message: "unterminated quoted field at end of input".to_owned(),
         });
     }
+    table.append_batch(builder.take_batch())?;
     Ok(table)
 }
 

@@ -1,0 +1,1016 @@
+//! `emtbl` — the on-disk columnar table format of the out-of-core
+//! storage tier.
+//!
+//! A table is written once as fixed-width typed column segments plus an
+//! offset-indexed string heap, then mapped back read-only and sliced
+//! zero-copy into [`ValueRef`]/[`ColumnSlice`] views. On Unix the file is
+//! `mmap`ed (the kernel pages columns in on demand, so a cold scan of one
+//! column touches only that column's pages); everywhere else — or when
+//! `mmap` fails — the file is read into an 8-byte-aligned buffer with
+//! identical semantics. Either way no row is ever materialized: the chunk
+//! executor slices straight into the mapped buffer.
+//!
+//! ## Layout (`emtbl v1`, little-endian, all segments 8-byte aligned)
+//!
+//! ```text
+//! magic    8B  "emtbl v1"
+//! nrows    8B  u64
+//! ncols    4B  u32
+//! per col:     u32 name_len, name bytes (UTF-8), u8 dtype code
+//! pad to 8B
+//! checksum 8B  FNV-1a of everything above
+//! per col:     u64 payload_len (padded), payload, u64 FNV-1a(payload)
+//! ```
+//!
+//! Column payloads (each sub-section padded to 8 bytes):
+//!
+//! | dtype | payload                                                    |
+//! |-------|------------------------------------------------------------|
+//! | bool  | validity bitmap, value bitmap                              |
+//! | int   | validity bitmap, `nrows × i64`                             |
+//! | float | validity bitmap, `nrows × f64`                             |
+//! | str   | validity bitmap, `(nrows+1) × u64` offsets, string heap    |
+//!
+//! Null cells are zero in the data section and clear in the validity
+//! bitmap; a null string and an empty string differ only in validity.
+//! Every segment carries its own FNV-1a checksum so a torn write or a
+//! flipped byte is detected at open time, not as silent garbage rows.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{Dtype, Value, ValueRef};
+use crate::Result;
+
+/// File magic of the current format version.
+pub const MAGIC: &[u8; 8] = b"emtbl v1";
+
+/// Default row count per ingest batch for [`ColumnarBuilder`] users
+/// (large enough to amortize per-batch work, small enough to bound the
+/// working set of a streaming CSV ingest).
+pub const DEFAULT_BATCH_ROWS: usize = 8192;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn pad8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+fn err(message: impl Into<String>) -> TableError {
+    TableError::Format(message.into())
+}
+
+fn dtype_code(d: Dtype) -> u8 {
+    match d {
+        Dtype::Bool => 0,
+        Dtype::Int => 1,
+        Dtype::Float => 2,
+        Dtype::Str => 3,
+    }
+}
+
+fn code_dtype(c: u8) -> Option<Dtype> {
+    match c {
+        0 => Some(Dtype::Bool),
+        1 => Some(Dtype::Int),
+        2 => Some(Dtype::Float),
+        3 => Some(Dtype::Str),
+        _ => None,
+    }
+}
+
+fn bit(bits: &[u8], i: usize) -> bool {
+    bits[i / 8] & (1 << (i % 8)) != 0
+}
+
+fn set_bit(bits: &mut [u8], i: usize) {
+    bits[i / 8] |= 1 << (i % 8);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serialize a table into `emtbl v1` bytes on `w`. Buffers one column
+/// payload at a time, never the whole file.
+pub fn write<W: Write>(table: &Table, w: &mut W) -> Result<()> {
+    let nrows = table.nrows();
+    let mut header = Vec::with_capacity(64);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&(nrows as u64).to_le_bytes());
+    header.extend_from_slice(&(table.ncols() as u32).to_le_bytes());
+    for f in table.schema().fields() {
+        header.extend_from_slice(&(f.name.len() as u32).to_le_bytes());
+        header.extend_from_slice(f.name.as_bytes());
+        header.push(dtype_code(f.dtype));
+    }
+    header.resize(pad8(header.len()), 0);
+    let sum = fnv1a(&header);
+    header.extend_from_slice(&sum.to_le_bytes());
+    w.write_all(&header)?;
+
+    let vbytes = pad8(nrows.div_ceil(8));
+    for c in 0..table.ncols() {
+        let col = table.column_at(c);
+        let mut payload = vec![0u8; vbytes];
+        for r in 0..nrows {
+            if !col.get(r).is_null() {
+                set_bit(&mut payload[..vbytes], r);
+            }
+        }
+        match col {
+            Column::Bool(v) => {
+                let start = payload.len();
+                payload.resize(start + vbytes, 0);
+                for (r, cell) in v.iter().enumerate() {
+                    if cell == &Some(true) {
+                        set_bit(&mut payload[start..], r);
+                    }
+                }
+            }
+            Column::Int(v) => {
+                for cell in v {
+                    payload.extend_from_slice(&cell.unwrap_or(0).to_le_bytes());
+                }
+            }
+            Column::Float(v) => {
+                for cell in v {
+                    payload.extend_from_slice(&cell.unwrap_or(0.0).to_le_bytes());
+                }
+            }
+            Column::Str(v) => {
+                let mut off = 0u64;
+                payload.extend_from_slice(&off.to_le_bytes());
+                for cell in v {
+                    off += cell.as_ref().map_or(0, |s| s.len() as u64);
+                    payload.extend_from_slice(&off.to_le_bytes());
+                }
+                for cell in v {
+                    if let Some(s) = cell {
+                        payload.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+        payload.resize(pad8(payload.len()), 0);
+        let sum = fnv1a(&payload);
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.write_all(&sum.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Write a table as an `emtbl v1` file at `path` (create/truncate,
+/// flushed and fsynced — the write-once half of the storage tier).
+pub fn write_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write(table, &mut w)?;
+    w.flush()?;
+    w.get_ref().sync_all()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Mapped buffer (mmap on Unix, aligned read fallback elsewhere)
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, length: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private mapping of a whole file.
+    pub struct Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // Read-only bytes with no interior mutability.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub fn map(file: &File, len: usize) -> Option<Mmap> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                None
+            } else {
+                Some(Mmap { ptr, len })
+            }
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping is PROT_READ, lives until Drop, and was
+            // created over exactly `len` bytes.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are the exact values returned by mmap.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Backing bytes of an open table: an OS mapping or an owned aligned buffer.
+enum Buf {
+    /// File bytes copied into an 8-byte-aligned owned buffer.
+    Owned {
+        /// `u64` backing keeps the base address 8-aligned for zero-copy
+        /// `i64`/`f64`/`u64` slice casts.
+        words: Vec<u64>,
+        len: usize,
+    },
+    #[cfg(unix)]
+    Mapped(sys::Mmap),
+}
+
+impl Buf {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Buf::Owned { words, len } => {
+                // SAFETY: the Vec<u64> allocation covers ≥ len bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+            #[cfg(unix)]
+            Buf::Mapped(m) => m.bytes(),
+        }
+    }
+}
+
+impl fmt::Debug for Buf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buf({} bytes)", self.bytes().len())
+    }
+}
+
+/// How [`MappedTable::open_with`] should back the file bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// `mmap` where available, aligned read otherwise (the default).
+    Auto,
+    /// Always read into an owned aligned buffer.
+    Buffered,
+}
+
+fn read_aligned(file: &mut File, len: usize) -> Result<Buf> {
+    let mut words = vec![0u64; len.div_ceil(8)];
+    // SAFETY: the Vec<u64> allocation covers ≥ len bytes and u8 has no
+    // validity constraints.
+    let dst = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) };
+    file.read_exact(dst)?;
+    Ok(Buf::Owned { words, len })
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Byte ranges of one column inside the mapped buffer.
+#[derive(Debug, Clone)]
+struct ColMeta {
+    dtype: Dtype,
+    /// Validity bitmap bytes.
+    validity: std::ops::Range<usize>,
+    /// Fixed-width data (value bitmap / i64s / f64s / u64 offsets).
+    data: std::ops::Range<usize>,
+    /// String heap (empty for non-string columns).
+    heap: std::ops::Range<usize>,
+}
+
+/// An open `emtbl` file: schema plus zero-copy column views over the
+/// mapped (or pread) file bytes. This is the `Storage::Mapped` backing of
+/// a [`Table`].
+#[derive(Debug)]
+pub struct MappedTable {
+    schema: Schema,
+    nrows: usize,
+    cols: Vec<ColMeta>,
+    buf: Buf,
+    mode: &'static str,
+}
+
+fn cast_slice<T: Copy>(bytes: &[u8]) -> &[T] {
+    // SAFETY: callers only pass 8-aligned ranges of the buffer (every
+    // section of the format is padded to 8 bytes and the buffer base is
+    // page- or Vec<u64>-aligned), and T ∈ {i64, f64, u64} has no validity
+    // constraints on any bit pattern.
+    let (pre, mid, post) = unsafe { bytes.align_to::<T>() };
+    debug_assert!(pre.is_empty() && post.is_empty(), "misaligned emtbl section");
+    mid
+}
+
+impl MappedTable {
+    /// Open an `emtbl` file (mmap where available).
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedTable> {
+        MappedTable::open_with(path, OpenMode::Auto)
+    }
+
+    /// Open an `emtbl` file with an explicit backing mode.
+    pub fn open_with(path: impl AsRef<Path>, mode: OpenMode) -> Result<MappedTable> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        let (buf, mode_name) = match mode {
+            OpenMode::Auto => match sys::Mmap::map(&file, len) {
+                Some(m) => (Buf::Mapped(m), "mmap"),
+                None => (read_aligned(&mut file, len)?, "read"),
+            },
+            OpenMode::Buffered => (read_aligned(&mut file, len)?, "read"),
+        };
+        #[cfg(not(unix))]
+        let (buf, mode_name) = {
+            let _ = mode;
+            (read_aligned(&mut file, len)?, "read")
+        };
+        MappedTable::parse(buf, mode_name)
+    }
+
+    fn parse(buf: Buf, mode: &'static str) -> Result<MappedTable> {
+        let b = buf.bytes();
+        let rd_u64 = |at: usize| -> Result<u64> {
+            let end = at.checked_add(8).filter(|&e| e <= b.len());
+            let end = end.ok_or_else(|| err(format!("truncated at byte {at}")))?;
+            Ok(u64::from_le_bytes(b[at..end].try_into().expect("8 bytes")))
+        };
+        if b.len() < 20 || &b[..8] != MAGIC {
+            return Err(err("not an emtbl v1 file (bad magic)"));
+        }
+        let nrows = rd_u64(8)? as usize;
+        let ncols =
+            u32::from_le_bytes(b[16..20].try_into().expect("4 bytes")) as usize;
+        let mut at = 20usize;
+        let mut fields = Vec::with_capacity(ncols);
+        for i in 0..ncols {
+            if at + 4 > b.len() {
+                return Err(err(format!("truncated header at column {i}")));
+            }
+            let nlen =
+                u32::from_le_bytes(b[at..at + 4].try_into().expect("4 bytes")) as usize;
+            at += 4;
+            if at + nlen + 1 > b.len() {
+                return Err(err(format!("truncated header at column {i}")));
+            }
+            let name = std::str::from_utf8(&b[at..at + nlen])
+                .map_err(|_| err(format!("column {i} name is not UTF-8")))?;
+            at += nlen;
+            let dtype = code_dtype(b[at])
+                .ok_or_else(|| err(format!("column {i} has unknown dtype code {}", b[at])))?;
+            at += 1;
+            fields.push(Field::new(name, dtype));
+        }
+        let header_end = pad8(at);
+        if header_end + 8 > b.len() {
+            return Err(err("truncated header checksum"));
+        }
+        let want = rd_u64(header_end)?;
+        let got = fnv1a(&b[..header_end]);
+        if want != got {
+            return Err(err(format!(
+                "header checksum mismatch (stored {want:016x}, computed {got:016x})"
+            )));
+        }
+        let schema = Schema::new(fields)?;
+
+        let vbytes = pad8(nrows.div_ceil(8));
+        let mut cols = Vec::with_capacity(ncols);
+        at = header_end + 8;
+        for (i, f) in schema.fields().iter().enumerate() {
+            let plen = rd_u64(at)? as usize;
+            at += 8;
+            let pstart = at;
+            let pend = pstart
+                .checked_add(plen)
+                .filter(|&e| e + 8 <= b.len())
+                .ok_or_else(|| err(format!("truncated segment for column `{}`", f.name)))?;
+            let want = rd_u64(pend)?;
+            let got = fnv1a(&b[pstart..pend]);
+            if want != got {
+                return Err(err(format!(
+                    "checksum mismatch in column `{}` (stored {want:016x}, computed {got:016x})",
+                    f.name
+                )));
+            }
+            let validity = pstart..pstart + vbytes;
+            let (data, heap) = match f.dtype {
+                Dtype::Bool => {
+                    let need = 2 * vbytes;
+                    if plen != pad8(need) {
+                        return Err(err(format!("column `{}` has wrong segment size", f.name)));
+                    }
+                    (validity.end..validity.end + vbytes, 0..0)
+                }
+                Dtype::Int | Dtype::Float => {
+                    let need = vbytes + nrows * 8;
+                    if plen != pad8(need) {
+                        return Err(err(format!("column `{}` has wrong segment size", f.name)));
+                    }
+                    (validity.end..validity.end + nrows * 8, 0..0)
+                }
+                Dtype::Str => {
+                    let obytes = (nrows + 1) * 8;
+                    if plen < vbytes + obytes {
+                        return Err(err(format!("column `{}` has wrong segment size", f.name)));
+                    }
+                    let data = validity.end..validity.end + obytes;
+                    let heap_padded = plen - vbytes - obytes;
+                    let offsets: &[u64] = cast_slice(&b[data.clone()]);
+                    if offsets[0] != 0 {
+                        return Err(err(format!("column `{}` offsets do not start at 0", f.name)));
+                    }
+                    for w in offsets.windows(2) {
+                        if w[1] < w[0] {
+                            return Err(err(format!(
+                                "column `{}` offsets are not monotonic",
+                                f.name
+                            )));
+                        }
+                    }
+                    let heap_len = offsets[nrows] as usize;
+                    if pad8(heap_len) != heap_padded {
+                        return Err(err(format!(
+                            "column `{}` heap length disagrees with offsets",
+                            f.name
+                        )));
+                    }
+                    let heap = data.end..data.end + heap_len;
+                    // Validate every cell is UTF-8 once, here, so the hot
+                    // accessors can slice with from_utf8_unchecked.
+                    let heap_bytes = &b[heap.clone()];
+                    for (r, w) in offsets.windows(2).enumerate() {
+                        let s = &heap_bytes[w[0] as usize..w[1] as usize];
+                        if std::str::from_utf8(s).is_err() {
+                            return Err(err(format!(
+                                "column `{}` row {r} is not UTF-8",
+                                f.name
+                            )));
+                        }
+                    }
+                    (data, heap)
+                }
+            };
+            let _ = i;
+            cols.push(ColMeta {
+                dtype: f.dtype,
+                validity,
+                data,
+                heap,
+            });
+            at = pend + 8;
+        }
+        if at != b.len() {
+            return Err(err(format!(
+                "{} trailing bytes after the last column segment",
+                b.len() - at
+            )));
+        }
+        Ok(MappedTable {
+            schema,
+            nrows,
+            cols,
+            buf,
+            mode,
+        })
+    }
+
+    /// Schema of the stored table.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total mapped file bytes.
+    pub fn file_bytes(&self) -> usize {
+        self.buf.bytes().len()
+    }
+
+    /// Backing mode: `"mmap"` or `"read"`.
+    pub fn mode(&self) -> &'static str {
+        self.mode
+    }
+
+    /// Zero-copy view of one column.
+    pub fn column_slice(&self, col: usize) -> ColumnSlice<'_> {
+        let m = &self.cols[col];
+        let b = self.buf.bytes();
+        let validity = &b[m.validity.clone()];
+        match m.dtype {
+            Dtype::Bool => ColumnSlice::Bool {
+                validity,
+                bits: &b[m.data.clone()],
+                len: self.nrows,
+            },
+            Dtype::Int => ColumnSlice::Int {
+                validity,
+                data: cast_slice(&b[m.data.clone()]),
+            },
+            Dtype::Float => ColumnSlice::Float {
+                validity,
+                data: cast_slice(&b[m.data.clone()]),
+            },
+            Dtype::Str => ColumnSlice::Str {
+                validity,
+                offsets: cast_slice(&b[m.data.clone()]),
+                heap: &b[m.heap.clone()],
+            },
+        }
+    }
+
+    /// Borrow the cell at (`row`, `col`) zero-copy.
+    pub fn value(&self, row: usize, col: usize) -> ValueRef<'_> {
+        self.column_slice(col).get(row)
+    }
+
+    /// Copy one column out into an in-RAM [`Column`] (the compatibility
+    /// path for APIs that need `&Column`; hot paths use
+    /// [`MappedTable::column_slice`] instead).
+    pub fn materialize_column(&self, col: usize) -> Column {
+        let slice = self.column_slice(col);
+        let mut out = Column::with_capacity(self.cols[col].dtype, self.nrows);
+        let name = &self.schema.field(col).name;
+        for r in 0..self.nrows {
+            out.push(slice.get(r).to_owned(), name)
+                .expect("dtype matches by construction");
+        }
+        out
+    }
+}
+
+/// A zero-copy borrowed view of one stored column: validity bitmap plus
+/// the typed data section, sliced straight out of the mapped file.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// Boolean column: validity bitmap + value bitmap.
+    Bool {
+        /// Validity bitmap (bit set ⇒ non-null).
+        validity: &'a [u8],
+        /// Value bitmap.
+        bits: &'a [u8],
+        /// Row count (bitmaps are padded past it).
+        len: usize,
+    },
+    /// Integer column.
+    Int {
+        /// Validity bitmap.
+        validity: &'a [u8],
+        /// One `i64` per row (zero where null).
+        data: &'a [i64],
+    },
+    /// Float column.
+    Float {
+        /// Validity bitmap.
+        validity: &'a [u8],
+        /// One `f64` per row (zero where null).
+        data: &'a [f64],
+    },
+    /// String column: offsets into a shared heap.
+    Str {
+        /// Validity bitmap.
+        validity: &'a [u8],
+        /// `nrows + 1` byte offsets into `heap`.
+        offsets: &'a [u64],
+        /// Concatenated UTF-8 string bytes (validated at open).
+        heap: &'a [u8],
+    },
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::Bool { len, .. } => *len,
+            ColumnSlice::Int { data, .. } => data.len(),
+            ColumnSlice::Float { data, .. } => data.len(),
+            ColumnSlice::Str { offsets, .. } => offsets.len() - 1,
+        }
+    }
+
+    /// True if the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the cell at `row`.
+    pub fn get(&self, row: usize) -> ValueRef<'a> {
+        assert!(row < self.len(), "row {row} out of bounds");
+        match self {
+            ColumnSlice::Bool { validity, bits, .. } => {
+                if bit(validity, row) {
+                    ValueRef::Bool(bit(bits, row))
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnSlice::Int { validity, data } => {
+                if bit(validity, row) {
+                    ValueRef::Int(data[row])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnSlice::Float { validity, data } => {
+                if bit(validity, row) {
+                    ValueRef::Float(data[row])
+                } else {
+                    ValueRef::Null
+                }
+            }
+            ColumnSlice::Str {
+                validity,
+                offsets,
+                heap,
+            } => {
+                if bit(validity, row) {
+                    let s = &heap[offsets[row] as usize..offsets[row + 1] as usize];
+                    // SAFETY: every cell was UTF-8-validated at open.
+                    ValueRef::Str(unsafe { std::str::from_utf8_unchecked(s) })
+                } else {
+                    ValueRef::Null
+                }
+            }
+        }
+    }
+
+    /// Borrow the string cell at `row` (`None` for nulls and non-string
+    /// columns) without constructing a `ValueRef`.
+    pub fn str_at(&self, row: usize) -> Option<&'a str> {
+        self.get(row).as_str()
+    }
+}
+
+/// Open an `emtbl` file as a [`Table`] with `Storage::Mapped` backing
+/// (named after the file stem, like [`crate::csv::read_csv_path`]).
+pub fn open_table(path: impl AsRef<Path>) -> Result<Table> {
+    open_table_with(path, OpenMode::Auto)
+}
+
+/// Open an `emtbl` file as a [`Table`] with an explicit backing mode.
+pub fn open_table_with(path: impl AsRef<Path>, mode: OpenMode) -> Result<Table> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "table".to_owned());
+    let map = MappedTable::open_with(path, mode)?;
+    Ok(Table::from_mapped(name, Arc::new(map)))
+}
+
+// ---------------------------------------------------------------------------
+// Columnar batch builder (streaming ingest)
+// ---------------------------------------------------------------------------
+
+/// A bounded, typed, columnar staging buffer for streaming ingest.
+///
+/// Producers (the CSV reader, generators) push validated rows; every
+/// `batch_rows` rows the batch is drained into its destination
+/// ([`Table::append_batch`] or an `emtbl` writer) so ingest never holds
+/// more than one batch of rows beyond the destination's own storage.
+#[derive(Debug)]
+pub struct ColumnarBuilder {
+    schema: Schema,
+    batch: Vec<Column>,
+    rows: usize,
+    batch_rows: usize,
+}
+
+impl ColumnarBuilder {
+    /// A builder staging up to `batch_rows` rows at a time (0 means
+    /// [`DEFAULT_BATCH_ROWS`]).
+    pub fn new(schema: Schema, batch_rows: usize) -> Self {
+        let batch_rows = if batch_rows == 0 {
+            DEFAULT_BATCH_ROWS
+        } else {
+            batch_rows
+        };
+        let batch = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, batch_rows))
+            .collect();
+        ColumnarBuilder {
+            schema,
+            batch,
+            rows: 0,
+            batch_rows,
+        }
+    }
+
+    /// The builder's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows currently staged.
+    pub fn staged_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True once the batch should be drained via [`ColumnarBuilder::take_batch`].
+    pub fn is_full(&self) -> bool {
+        self.rows >= self.batch_rows
+    }
+
+    /// Append one row, draining `row`. All-or-nothing like
+    /// [`Table::push_row`]: on arity or type error nothing is staged.
+    pub fn push_row(&mut self, row: &mut Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::RowArity {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        for (value, field) in row.iter().zip(self.schema.fields()) {
+            if let Some(d) = value.dtype() {
+                let ok = d == field.dtype || (d == Dtype::Int && field.dtype == Dtype::Float);
+                if !ok {
+                    return Err(TableError::TypeMismatch {
+                        column: field.name.clone(),
+                        expected: field.dtype,
+                        found: d,
+                    });
+                }
+            }
+        }
+        for ((value, col), field) in row
+            .drain(..)
+            .zip(self.batch.iter_mut())
+            .zip(self.schema.fields())
+        {
+            col.push(value, &field.name)
+                .expect("validated before mutation");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Drain the staged batch (possibly empty) as same-length columns.
+    pub fn take_batch(&mut self) -> Vec<Column> {
+        let fresh = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, self.batch_rows))
+            .collect();
+        self.rows = 0;
+        std::mem::replace(&mut self.batch, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "S",
+            &[
+                ("id", Dtype::Str),
+                ("name", Dtype::Str),
+                ("age", Dtype::Int),
+                ("score", Dtype::Float),
+                ("ok", Dtype::Bool),
+            ],
+            vec![
+                vec![
+                    "a1".into(),
+                    "Dave Smith".into(),
+                    Value::Int(40),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                ],
+                vec![
+                    "a2".into(),
+                    "Jöe Wilsön 💡".into(),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ],
+                vec![
+                    "a3".into(),
+                    "".into(),
+                    Value::Int(-7),
+                    Value::Float(-0.25),
+                    Value::Bool(false),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(t: &Table, mode: OpenMode) -> Table {
+        let dir = std::env::temp_dir().join(format!(
+            "emtbl_test_{}_{:?}",
+            std::process::id(),
+            t.id().raw()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.emtbl");
+        write_path(t, &path).unwrap();
+        let back = open_table_with(&path, mode).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        back
+    }
+
+    fn assert_tables_equal(a: &Table, b: &Table) {
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.nrows(), b.nrows());
+        for r in 0..a.nrows() {
+            for c in 0..a.ncols() {
+                assert_eq!(a.value(r, c), b.value(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_all_dtypes_nulls_and_non_ascii() {
+        let t = sample();
+        for mode in [OpenMode::Auto, OpenMode::Buffered] {
+            let back = roundtrip(&t, mode);
+            assert_tables_equal(&t, &back);
+            // Null string and empty string stay distinct.
+            assert!(back.value(1, 4).is_null());
+            assert_eq!(back.value(2, 1).as_str(), Some(""));
+            assert_eq!(back.value(1, 1).as_str(), Some("Jöe Wilsön 💡"));
+        }
+    }
+
+    #[test]
+    fn roundtrips_empty_table() {
+        let t = Table::new(
+            "E",
+            Schema::from_pairs(&[("a", Dtype::Str), ("b", Dtype::Int)]).unwrap(),
+        );
+        let back = roundtrip(&t, OpenMode::Buffered);
+        assert_eq!(back.nrows(), 0);
+        assert_eq!(back.schema(), t.schema());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        write(&t, &mut bytes).unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(MappedTable::parse(to_buf(&bad), "read").is_err());
+
+        // A flipped byte anywhere in a payload fails that column's checksum.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(MappedTable::parse(to_buf(&bad), "read").is_err());
+
+        // Every strict prefix is rejected (torn write).
+        for cut in [1, 8, 20, bytes.len() / 3, bytes.len() - 1] {
+            assert!(
+                MappedTable::parse(to_buf(&bytes[..cut]), "read").is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+
+        // Trailing garbage is rejected too.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(MappedTable::parse(to_buf(&bad), "read").is_err());
+
+        // The untouched bytes still parse.
+        assert!(MappedTable::parse(to_buf(&bytes), "read").is_ok());
+    }
+
+    fn to_buf(bytes: &[u8]) -> Buf {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), bytes.len())
+        };
+        dst.copy_from_slice(bytes);
+        Buf::Owned {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    #[test]
+    fn column_slices_are_zero_copy_views() {
+        let t = sample();
+        let mut bytes = Vec::new();
+        write(&t, &mut bytes).unwrap();
+        let map = MappedTable::parse(to_buf(&bytes), "read").unwrap();
+        match map.column_slice(2) {
+            ColumnSlice::Int { data, .. } => assert_eq!(data, &[40, 0, -7]),
+            other => panic!("expected int slice, got {other:?}"),
+        }
+        match map.column_slice(1) {
+            ColumnSlice::Str { offsets, .. } => assert_eq!(offsets.len(), 4),
+            other => panic!("expected str slice, got {other:?}"),
+        }
+        assert_eq!(map.value(0, 1).as_str(), Some("Dave Smith"));
+    }
+
+    #[test]
+    fn mapped_backing_promotes_to_ram_on_mutation() {
+        use crate::table::Storage;
+        let t = sample();
+        let back = roundtrip(&t, OpenMode::Auto);
+        assert_eq!(back.storage(), Storage::Mapped);
+        // Read paths stay mapped; &Column materializes lazily.
+        assert_eq!(back.value(0, 0).as_str(), Some("a1"));
+        assert_eq!(back.column_at(2).len(), 3);
+        assert_eq!(back.storage(), Storage::Mapped);
+        // Mutation promotes to RAM with identical contents.
+        let mut back = back;
+        back.push_row(vec![
+            "a4".into(),
+            "New Row".into(),
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        assert_eq!(back.storage(), Storage::InRam);
+        assert_eq!(back.nrows(), 4);
+        for r in 0..3 {
+            for c in 0..t.ncols() {
+                assert_eq!(t.value(r, c), back.value(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_builder_batches_and_validates() {
+        let schema = Schema::from_pairs(&[("s", Dtype::Str), ("n", Dtype::Int)]).unwrap();
+        let mut b = ColumnarBuilder::new(schema.clone(), 2);
+        let mut row = vec![Value::from("x"), Value::Int(1)];
+        b.push_row(&mut row).unwrap();
+        assert!(row.is_empty() && !b.is_full());
+        let mut bad = vec![Value::Int(9), Value::Int(1)];
+        assert!(b.push_row(&mut bad).is_err());
+        assert_eq!(b.staged_rows(), 1);
+        let mut row = vec![Value::Null, Value::Int(2)];
+        b.push_row(&mut row).unwrap();
+        assert!(b.is_full());
+        let cols = b.take_batch();
+        assert_eq!(cols[0].len(), 2);
+        assert_eq!(b.staged_rows(), 0);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod emtbl;
 pub mod error;
 pub mod profile;
 pub mod schema;
@@ -32,9 +33,10 @@ pub mod value;
 
 pub use catalog::{CandidateMeta, Catalog, TableMeta};
 pub use column::Column;
+pub use emtbl::{ColumnSlice, ColumnarBuilder, MappedTable, OpenMode};
 pub use error::TableError;
 pub use schema::{Field, Schema};
-pub use table::{Table, TableId};
+pub use table::{ColView, Storage, Table, TableId};
 pub use value::{Dtype, Value, ValueRef};
 
 /// Crate-wide result alias.

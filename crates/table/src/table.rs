@@ -4,8 +4,10 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::column::Column;
+use crate::emtbl::{ColumnSlice, MappedTable};
 use crate::error::TableError;
 use crate::schema::{Field, Schema};
 use crate::value::{Dtype, Value, ValueRef};
@@ -30,13 +32,70 @@ impl TableId {
     }
 }
 
-/// A typed, column-oriented, nullable in-memory table.
+/// Which backing a [`Table`] reads its cells from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Columns live in RAM as [`Column`] vectors (the default).
+    InRam,
+    /// Columns are zero-copy views over an open `emtbl` file
+    /// ([`MappedTable`]); nothing is materialized until an API that
+    /// needs `&Column` or mutation asks for it.
+    Mapped,
+}
+
+/// The `Storage::Mapped` backing: the open file plus a lazily
+/// materialized per-column cache for the `&Column`-returning
+/// compatibility APIs. Cloned tables share both (`Arc`).
+#[derive(Debug, Clone)]
+struct MappedBacking {
+    map: Arc<MappedTable>,
+    lazy: Arc<Vec<OnceLock<Column>>>,
+}
+
+/// A borrowed view of one column that works over either backing:
+/// in-RAM tables hand out the [`Column`], mapped tables a zero-copy
+/// [`ColumnSlice`] into the file. The hot seam for scans that must not
+/// materialize mapped columns.
+#[derive(Debug, Clone, Copy)]
+pub enum ColView<'a> {
+    /// View over an in-RAM column.
+    Ram(&'a Column),
+    /// Zero-copy view over a mapped column segment.
+    Mapped(ColumnSlice<'a>),
+}
+
+impl<'a> ColView<'a> {
+    /// Borrow the cell at `row`.
+    pub fn get(&self, row: usize) -> ValueRef<'a> {
+        match self {
+            ColView::Ram(c) => c.get(row),
+            ColView::Mapped(s) => s.get(row),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColView::Ram(c) => c.len(),
+            ColView::Mapped(s) => s.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A typed, column-oriented, nullable table; backed by RAM or by a
+/// mapped `emtbl` file (see [`Storage`]).
 #[derive(Debug, Clone)]
 pub struct Table {
     id: TableId,
     name: String,
     schema: Schema,
     columns: Vec<Column>,
+    mapped: Option<MappedBacking>,
     nrows: usize,
 }
 
@@ -53,6 +112,7 @@ impl Table {
             name: name.into(),
             schema,
             columns,
+            mapped: None,
             nrows: 0,
         }
     }
@@ -69,6 +129,7 @@ impl Table {
             name: name.into(),
             schema,
             columns,
+            mapped: None,
             nrows: 0,
         }
     }
@@ -122,9 +183,61 @@ impl Table {
         self.nrows == 0
     }
 
+    /// Wrap an open `emtbl` file as a mapped-backing table.
+    pub fn from_mapped(name: impl Into<String>, map: Arc<MappedTable>) -> Self {
+        let lazy = Arc::new((0..map.ncols()).map(|_| OnceLock::new()).collect());
+        Table {
+            id: TableId::fresh(),
+            name: name.into(),
+            schema: map.schema().clone(),
+            columns: Vec::new(),
+            nrows: map.nrows(),
+            mapped: Some(MappedBacking { map, lazy }),
+        }
+    }
+
+    /// Which backing this table currently reads from.
+    pub fn storage(&self) -> Storage {
+        if self.mapped.is_some() {
+            Storage::Mapped
+        } else {
+            Storage::InRam
+        }
+    }
+
+    /// The open `emtbl` file behind a `Storage::Mapped` table.
+    pub fn mapped_table(&self) -> Option<&MappedTable> {
+        self.mapped.as_ref().map(|m| &*m.map)
+    }
+
+    /// A backing-agnostic view of one column by position: zero-copy for
+    /// mapped tables, a plain borrow for in-RAM ones. Scans that must not
+    /// materialize mapped columns go through this instead of
+    /// [`Table::column_at`].
+    pub fn col_view(&self, idx: usize) -> ColView<'_> {
+        match &self.mapped {
+            Some(m) => ColView::Mapped(m.map.column_slice(idx)),
+            None => ColView::Ram(&self.columns[idx]),
+        }
+    }
+
+    /// Copy every mapped column into RAM and drop the file backing.
+    /// Mutating APIs call this first; a no-op for in-RAM tables.
+    pub fn ensure_in_ram(&mut self) {
+        if let Some(m) = self.mapped.take() {
+            self.columns = (0..m.map.ncols())
+                .map(|c| match m.lazy[c].get() {
+                    Some(col) => col.clone(),
+                    None => m.map.materialize_column(c),
+                })
+                .collect();
+        }
+    }
+
     /// Append a row. All-or-nothing: on arity or type error the table is
     /// left unchanged.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        self.ensure_in_ram();
         if row.len() != self.schema.len() {
             return Err(TableError::RowArity {
                 expected: self.schema.len(),
@@ -157,9 +270,13 @@ impl Table {
         Ok(())
     }
 
-    /// Borrow the cell at (`row`, `col`) by column index.
+    /// Borrow the cell at (`row`, `col`) by column index. Zero-copy for
+    /// both backings.
     pub fn value(&self, row: usize, col: usize) -> ValueRef<'_> {
-        self.columns[col].get(row)
+        match &self.mapped {
+            Some(m) => m.map.value(row, col),
+            None => self.columns[col].get(row),
+        }
     }
 
     /// Borrow the cell at (`row`, column named `name`).
@@ -171,7 +288,7 @@ impl Table {
             });
         }
         let idx = self.schema.try_index_of(name)?;
-        Ok(self.columns[idx].get(row))
+        Ok(self.value(row, idx))
     }
 
     /// Overwrite the cell at (`row`, column named `name`).
@@ -183,27 +300,71 @@ impl Table {
             });
         }
         let idx = self.schema.try_index_of(name)?;
+        self.ensure_in_ram();
         self.columns[idx].set(row, value, name)
     }
 
-    /// Borrow a whole column by name.
+    /// Borrow a whole column by name. For mapped tables this materializes
+    /// (and caches) the column; zero-copy scans use [`Table::col_view`].
     pub fn column(&self, name: &str) -> Result<&Column> {
         let idx = self.schema.try_index_of(name)?;
-        Ok(&self.columns[idx])
+        Ok(self.column_at(idx))
     }
 
-    /// Borrow a whole column by position.
+    /// Borrow a whole column by position. For mapped tables this
+    /// materializes (and caches) the column; zero-copy scans use
+    /// [`Table::col_view`].
     pub fn column_at(&self, idx: usize) -> &Column {
-        &self.columns[idx]
+        match &self.mapped {
+            Some(m) => m.lazy[idx].get_or_init(|| m.map.materialize_column(idx)),
+            None => &self.columns[idx],
+        }
     }
 
     /// Materialize one row as owned values.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c.get(row).to_owned()).collect()
+        (0..self.ncols())
+            .map(|c| self.value(row, c).to_owned())
+            .collect()
+    }
+
+    /// Append columns of equal length to every existing column (the batch
+    /// flush path of [`crate::emtbl::ColumnarBuilder`]). The batch must
+    /// match the schema's arity and dtypes.
+    pub fn append_batch(&mut self, batch: Vec<Column>) -> Result<()> {
+        if batch.len() != self.schema.len() {
+            return Err(TableError::RowArity {
+                expected: self.schema.len(),
+                found: batch.len(),
+            });
+        }
+        let n = batch.first().map_or(0, Column::len);
+        for (col, field) in batch.iter().zip(self.schema.fields()) {
+            if col.dtype() != field.dtype {
+                return Err(TableError::TypeMismatch {
+                    column: field.name.clone(),
+                    expected: field.dtype,
+                    found: col.dtype(),
+                });
+            }
+            if col.len() != n {
+                return Err(TableError::RowArity {
+                    expected: n,
+                    found: col.len(),
+                });
+            }
+        }
+        self.ensure_in_ram();
+        for (dst, src) in self.columns.iter_mut().zip(batch) {
+            dst.append(src);
+        }
+        self.nrows += n;
+        Ok(())
     }
 
     /// Append a fully built column. Must match the row count.
     pub fn add_column(&mut self, field: Field, column: Column) -> Result<()> {
+        self.ensure_in_ram();
         if column.len() != self.nrows {
             return Err(TableError::RowArity {
                 expected: self.nrows,
@@ -231,7 +392,7 @@ impl Table {
             .iter()
             .map(|n| {
                 let idx = self.schema.try_index_of(n).expect("validated by project");
-                self.columns[idx].clone()
+                self.column_at(idx).clone()
             })
             .collect();
         Ok(Table {
@@ -239,18 +400,20 @@ impl Table {
             name: self.name.clone(),
             schema,
             columns,
+            mapped: None,
             nrows: self.nrows,
         })
     }
 
     /// A new table containing the rows at `rows` (indices may repeat).
     pub fn take(&self, rows: &[usize]) -> Table {
-        let columns = self.columns.iter().map(|c| c.take(rows)).collect();
+        let columns = (0..self.ncols()).map(|c| self.column_at(c).take(rows)).collect();
         Table {
             id: TableId::fresh(),
             name: self.name.clone(),
             schema: self.schema.clone(),
             columns,
+            mapped: None,
             nrows: rows.len(),
         }
     }
@@ -285,9 +448,10 @@ impl Table {
     /// Used by key validation and id-pair joins. Nulls are skipped.
     pub fn key_index(&self, attr: &str) -> Result<HashMap<String, usize>> {
         let idx = self.schema.try_index_of(attr)?;
+        let view = self.col_view(idx);
         let mut map = HashMap::with_capacity(self.nrows);
         for r in 0..self.nrows {
-            let v = self.columns[idx].get(r);
+            let v = view.get(r);
             if !v.is_null() {
                 map.insert(v.display_string(), r);
             }

@@ -1,7 +1,7 @@
 //! Property tests for the tabular substrate: CSV round-trips, row-op
 //! invariants, and catalog validation stability.
 
-use magellan_table::{csv, Catalog, Dtype, Schema, Table, Value};
+use magellan_table::{csv, Catalog, Dtype, MappedTable, Schema, Table, Value};
 use proptest::prelude::*;
 
 /// Arbitrary cell for a column of the given dtype (with nulls).
@@ -37,6 +37,46 @@ fn table() -> impl Strategy<Value = Table> {
         let row = dts
             .iter()
             .map(|&d| cell(d))
+            .collect::<Vec<_>>();
+        let schema_dts = dts.clone();
+        proptest::collection::vec(row, 0..15).prop_map(move |rows| {
+            let pairs: Vec<(String, Dtype)> = schema_dts
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (format!("c{i}"), d))
+                .collect();
+            let pair_refs: Vec<(&str, Dtype)> =
+                pairs.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+            Table::from_rows("T", &pair_refs, rows).expect("consistent rows")
+        })
+    })
+}
+
+/// Like [`table`] but with non-ASCII string cells (multi-byte UTF-8),
+/// for the binary `emtbl` round-trip: offsets in the string heap are
+/// byte offsets, so multi-byte codepoints are where an off-by-one
+/// would surface.
+fn emtbl_table() -> impl Strategy<Value = Table> {
+    let dtypes = proptest::collection::vec(
+        prop_oneof![
+            Just(Dtype::Int),
+            Just(Dtype::Float),
+            Just(Dtype::Str),
+            Just(Dtype::Bool)
+        ],
+        1..5,
+    );
+    dtypes.prop_flat_map(|dts| {
+        let row = dts
+            .iter()
+            .map(|&d| match d {
+                Dtype::Str => prop_oneof![
+                    4 => "[a-zµéλ☃ ,\"\n]{0,8}".prop_map(Value::Str),
+                    1 => Just(Value::Null)
+                ]
+                .boxed(),
+                other => cell(other),
+            })
             .collect::<Vec<_>>();
         let schema_dts = dts.clone();
         proptest::collection::vec(row, 0..15).prop_map(move |rows| {
@@ -111,6 +151,39 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&p.null_fraction()));
             prop_assert!((0.0..=1.0).contains(&p.distinctness()));
         }
+    }
+
+    #[test]
+    fn emtbl_roundtrip_is_exact(t in emtbl_table(), salt in any::<u64>()) {
+        // Unlike the CSV round-trip above, the binary format owes the
+        // caller *bit-exact* cells: floats compare by value (no NaNs in
+        // the strategy), strings byte-for-byte, nulls as nulls.
+        let path = std::env::temp_dir().join(format!(
+            "magellan_emtbl_prop_{}_{salt:x}.emtbl",
+            std::process::id()
+        ));
+        magellan_table::emtbl::write_path(&t, &path).unwrap();
+
+        // Mapped (zero-copy) reads.
+        let m = MappedTable::open(&path).unwrap();
+        prop_assert_eq!(m.nrows(), t.nrows());
+        prop_assert_eq!(m.schema(), t.schema());
+        for r in 0..t.nrows() {
+            for c in 0..t.ncols() {
+                prop_assert_eq!(m.value(r, c), t.value(r, c), "mapped cell ({}, {})", r, c);
+            }
+        }
+
+        // Materialized open: a full in-RAM Table again.
+        let back = magellan_table::emtbl::open_table(&path).unwrap();
+        prop_assert_eq!(back.nrows(), t.nrows());
+        prop_assert_eq!(back.schema(), t.schema());
+        for r in 0..t.nrows() {
+            for c in 0..t.ncols() {
+                prop_assert_eq!(back.value(r, c), t.value(r, c), "cell ({}, {})", r, c);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -41,12 +41,11 @@
 //!
 //! ## Adaptive selection
 //!
-//! [`intersect_auto`] picks by **size ratio**, then **size**, then
-//! **density**: skew ≥ [`GALLOP_RATIO`] gallops, tiny operands
-//! (≤ [`SCALAR_MAX_LEN`] combined) stay on the scalar reference where
-//! dispatch overhead isn't amortized, dense overlapping spans (few
-//! words per element) rasterize, everything else takes the branchless
-//! merge.
+//! [`intersect_auto`] picks by **size**, then **size ratio**, then
+//! **density**: tiny operands (≤ [`SCALAR_MAX_LEN`] combined) stay on
+//! the scalar reference where dispatch overhead isn't amortized, skew
+//! ≥ [`GALLOP_RATIO`] gallops, dense overlapping spans (few words per
+//! element) rasterize, everything else takes the branchless merge.
 //! The choice only moves work between kernels that agree bit-for-bit,
 //! so callers never observe it — but it is reported via
 //! [`KernelCounters`] so joins can publish selection telemetry.
@@ -77,7 +76,13 @@ pub const BITSET_MAX_WORDS_PER_ELEM: usize = 1;
 /// reference: dispatch and branchless bookkeeping are not amortized on
 /// operands this small (typical word sets of a single attribute), and
 /// the branchy merge predicts perfectly there.
-pub const SCALAR_MAX_LEN: usize = 16;
+///
+/// Retuned 16 → 48 (PR 9): profile grids with 3–8-token attribute sets
+/// produced combined lengths of 17–48 that were dispatched to the
+/// merge/bitset kernels, whose fixed per-call cost loses to the plain
+/// scalar walk at those sizes — the adaptive selector must never lose
+/// to the pinned scalar reference.
+pub const SCALAR_MAX_LEN: usize = 48;
 
 /// Which kernel [`select`] chose for a given input shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -286,9 +291,11 @@ pub fn intersect_bitset(a: &[u32], b: &[u32]) -> usize {
     })
 }
 
-/// Pick a kernel for the given input shape: size ratio first (gallop),
-/// then tiny-operand scalar fallback, then density (bitset), otherwise
-/// the branchless merge. Pure in the slice *shapes* (lengths and end
+/// Pick a kernel for the given input shape: tiny operands first (the
+/// scalar reference — the common case for word sets of one attribute,
+/// checked before anything else so the hot path is one add + compare),
+/// then size ratio (gallop), then density (bitset), otherwise the
+/// branchless merge. Pure in the slice *shapes* (lengths and end
 /// values), so selections — and the [`KernelCounters`] built from them
 /// — are deterministic.
 pub fn select(a: &[u32], b: &[u32]) -> Kernel {
@@ -299,11 +306,11 @@ pub fn select(a: &[u32], b: &[u32]) -> Kernel {
     if la == 0 || lb == 0 {
         return Kernel::Merge; // trivial; counted as a merge answer
     }
-    if la >= GALLOP_RATIO.saturating_mul(lb) || lb >= GALLOP_RATIO.saturating_mul(la) {
-        return Kernel::Gallop;
-    }
     if la + lb <= SCALAR_MAX_LEN {
         return Kernel::Scalar;
+    }
+    if la >= GALLOP_RATIO.saturating_mul(lb) || lb >= GALLOP_RATIO.saturating_mul(la) {
+        return Kernel::Gallop;
     }
     let min_len = la.min(lb);
     if min_len >= BITSET_MIN_LEN {
