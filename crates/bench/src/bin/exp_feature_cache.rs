@@ -37,6 +37,7 @@ fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let n = if smoke { 250 } else { 1500 };
     let reps = if smoke { 2 } else { 5 };
@@ -169,7 +170,7 @@ fn main() {
         "speedup at 1 worker: {speedup_w1:.2}x (acceptance floor: 3x cached vs scalar)"
     )
     .unwrap();
-    print!("{txt}");
+    magellan_obs::log!(info, "{txt}");
 
     let json = format!(
         "{{\n  \"experiment\": \"feature_extraction\",\n  \"workload\": {{\"rows_a\": {}, \"rows_b\": {}, \"n_features\": {}, \"n_pairs\": {n_pairs}, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"cache\": {{\"records_prepared\": {}, \"tokenize_calls\": {}, \"tokenize_calls_saved\": {}, \"interner_tokens\": {}}},\n  \"kernel_speedup_w1\": {kernel_speedup:.2},\n  \"results\": [\n{json_rows}\n  ]\n}}\n",

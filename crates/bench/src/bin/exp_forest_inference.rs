@@ -74,6 +74,7 @@ fn training_data(seed: u64, n: usize, dims: usize) -> Dataset {
 }
 
 fn main() {
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let (n_rows, n_train, n_trees, reps) =
         if smoke { (2_000, 300, 15, 2) } else { (40_000, 800, 31, 5) };
@@ -151,7 +152,7 @@ fn main() {
     }
     writeln!(txt).unwrap();
     writeln!(txt, "speedup at 1 worker: {speedup_w1:.2}x").unwrap();
-    print!("{txt}");
+    magellan_obs::log!(info, "{txt}");
 
     let json = format!(
         "{{\n  \"experiment\": \"forest_inference\",\n  \"workload\": {{\"n_trees\": {}, \"n_nodes\": {}, \"dims\": {dims}, \"n_rows\": {n_rows}, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"flatten_ms\": {:.3},\n  \"speedup_w1\": {speedup_w1:.2},\n  \"results\": [\n{json_rows}\n  ]\n}}\n",

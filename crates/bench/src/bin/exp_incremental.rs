@@ -140,6 +140,7 @@ fn fixture_forest() -> FlatForest {
 }
 
 fn main() {
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let n = if smoke { 400 } else { 4000 };
     let batches = if smoke { 6 } else { 50 };
@@ -331,7 +332,7 @@ fn main() {
     )
     .unwrap();
 
-    print!("{txt}");
+    magellan_obs::log!(info, "{txt}");
 
     let json = format!(
         "{{\n  \"experiment\": \"incremental\",\n  \"workload\": {{\"rows_per_side\": {n}, \"churn_per_batch\": {churn}, \"batches\": {batches}, \"measure\": \"jaccard\", \"threshold\": 0.5, \"smoke\": {smoke}}},\n  \"updates_per_sec\": {updates_per_sec:.0},\n  \"delta_batch_median_ms\": {:.4},\n  \"rebuild_median_ms\": {:.4},\n  \"delta_vs_rebuild_speedup\": {speedup:.1},\n  \"pairs_added\": {pairs_added},\n  \"pairs_removed\": {pairs_removed},\n  \"live_pairs\": {},\n  \"compactions\": {{\"count\": {}, \"pause_p99_ms\": {pause_p99_ms:.4}}},\n  \"workers_bit_identical\": [1, 2, 4, 8],\n  \"stream\": {{\"updates_per_sec\": {stream_ups:.0}, \"matches\": {}, \"oracle_equal\": true}}\n}}\n",

@@ -63,6 +63,7 @@ fn str_column(t: &Table, name: &str) -> Vec<Option<String>> {
 }
 
 fn main() {
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     // The indexed side must dwarf the probe side for the memory story
     // to be the real one: 1M indexed rows non-smoke.
@@ -205,7 +206,7 @@ fn main() {
             sstats.peak_index_bytes
         );
     }
-    print!("{txt}");
+    magellan_obs::log!(info, "{txt}");
 
     let json = format!(
         "{{\n  \"experiment\": \"outofcore\",\n  \"workload\": {{\"rows_indexed\": {rows_indexed}, \"rows_probe\": {rows_probe}, \"scenario\": \"products\", \"smoke\": {smoke}}},\n  \"scan\": {{\"csv_secs\": {t_csv:.3}, \"emtbl_secs\": {t_map:.3}, \"emtbl_mode\": \"{map_mode}\", \"speedup\": {scan_speedup:.2}, \"csv_bytes\": {csv_bytes}, \"emtbl_bytes\": {tbl_bytes}}},\n  \"checkpoint\": {{\"pairs\": {}, \"v1_bytes\": {v1_bytes}, \"v2_bytes\": {v2_bytes}, \"ratio\": {ckpt_ratio:.3}}},\n  \"shards\": {{\"budget_bytes\": {budget}, \"monolithic_index_bytes\": {monolithic_bytes}, \"k\": {k}, \"peak_index_bytes\": {}, \"total_index_bytes\": {}, \"sharded_secs\": {t_shard:.2}, \"monolithic_secs\": {t_mono:.2}}}\n}}\n",

@@ -172,6 +172,7 @@ struct Grid {
 }
 
 fn main() {
+    magellan_obs::init_bin_logging(magellan_obs::Level::Info);
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let n = if smoke { 400 } else { 4000 };
     let reps = if smoke { 2 } else { 5 };
@@ -430,7 +431,7 @@ fn main() {
             "adaptive kernel tier lost to the scalar reference on net: geomean {kernel_geomean:.3}x"
         );
     }
-    print!("{txt}");
+    magellan_obs::log!(info, "{txt}");
 
     let json = format!(
         "{{\n  \"experiment\": \"simjoin\",\n  \"workload\": {{\"rows_per_side\": {n}, \"vocab\": 800, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \"skewed_speedup_w1\": {skewed_speedup_w1:.2},\n  \"grids\": [\n{json_grids}\n  ]\n}}\n"

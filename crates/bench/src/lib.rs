@@ -4,6 +4,8 @@
 //! paper (see DESIGN.md's experiment index), plus Criterion micro-benches
 //! in `benches/`. Shared harness helpers live here.
 
+pub mod benchdiff;
+
 use std::collections::HashSet;
 
 use magellan_block::CandidateSet;

@@ -182,6 +182,7 @@ impl Checkpoint {
     /// carries its own checksum, so a torn write is pinned to the damaged
     /// segment instead of poisoning the whole-file trailer diagnosis.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _span = magellan_obs::span("ckpt_write", 0);
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(MAGIC_V2);
         match self {
@@ -200,6 +201,8 @@ impl Checkpoint {
             }
         }
         push_segment(&mut out, SEG_END, &[]);
+        magellan_obs::span_res_add("ckpt_bytes", out.len() as u64);
+        magellan_obs::counter_add("magellan_core_checkpoint_bytes_total", out.len() as u64);
         out
     }
 
@@ -210,6 +213,8 @@ impl Checkpoint {
     /// trailing bytes, out-of-range pair — is a fatal
     /// [`MagellanError::Checkpoint`] carrying the offending byte offset.
     pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, MagellanError> {
+        let _span = magellan_obs::span("ckpt_read", 0);
+        magellan_obs::span_res_add("ckpt_bytes", data.len() as u64);
         if data.starts_with(b"emckpt v1") {
             let text = std::str::from_utf8(data)
                 .map_err(|_| corrupt(0, "v1 checkpoint is not UTF-8 text"))?;
@@ -317,6 +322,7 @@ const PHASE_DONE: u8 = 0x01;
 
 /// Append one `tag len payload checksum` segment.
 fn push_segment(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    let _span = magellan_obs::span("ckpt_segment_write", u64::from(tag));
     out.push(tag);
     out.extend_from_slice(&u32::try_from(payload.len()).expect("segment < 4 GiB").to_le_bytes());
     out.extend_from_slice(payload);
@@ -345,6 +351,7 @@ impl<'a> ByteReader<'a> {
 fn read_segment<'a>(r: &mut ByteReader<'a>) -> Result<(u8, &'a [u8]), MagellanError> {
     let at = r.pos;
     let tag = r.take(1, "segment tag")?[0];
+    let _span = magellan_obs::span("ckpt_segment_read", u64::from(tag));
     let len = u32::from_le_bytes(r.take(4, "segment length")?.try_into().expect("4 bytes"));
     let payload = r.take(len as usize, "segment payload")?;
     let stored = u64::from_le_bytes(r.take(8, "segment checksum")?.try_into().expect("8 bytes"));

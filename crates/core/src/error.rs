@@ -82,6 +82,20 @@ impl MagellanError {
     pub fn fatal(&self) -> bool {
         !self.transient()
     }
+
+    /// Static variant name, for deterministic telemetry fields (the
+    /// flight recorder tags `fatal_error` failures with it).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MagellanError::Table(_) => "table",
+            MagellanError::Persist(_) => "persist",
+            MagellanError::Phase { .. } => "phase",
+            MagellanError::Checkpoint { .. } => "checkpoint",
+            MagellanError::Timeout { .. } => "timeout",
+            MagellanError::Config { .. } => "config",
+            MagellanError::Killed { .. } => "killed",
+        }
+    }
 }
 
 /// `TableError`'s only plausibly-transient face is an I/O error of a

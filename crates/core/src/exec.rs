@@ -291,14 +291,25 @@ impl ProductionExecutor {
         }
     }
 
-    /// Snapshot the recorder into the report and honor `MAGELLAN_TRACE`
-    /// (export the Chrome trace to the requested path, best effort).
+    /// Snapshot the recorder into the report and honor the export env
+    /// vars, best effort: `MAGELLAN_TRACE` (Chrome trace),
+    /// `MAGELLAN_PROFILE` (collapsed-stack or `.json` profile), and
+    /// `MAGELLAN_FLIGHT_DUMP` (flight-recorder dump, written only when
+    /// the run noted a failure).
     fn finish_obs(obs: &magellan_obs::Obs) -> ObsSnapshot {
         let snap = obs.snapshot();
         if let Some(path) = magellan_obs::trace_export_path() {
             if let Err(e) = snap.write_chrome_trace(&path) {
                 magellan_obs::log!(warn, "MAGELLAN_TRACE export to {path} failed: {e}");
             }
+        }
+        if let Some(path) = magellan_obs::profile_export_path() {
+            if let Err(e) = snap.profile().write(&path) {
+                magellan_obs::log!(warn, "MAGELLAN_PROFILE export to {path} failed: {e}");
+            }
+        }
+        if let Some(path) = obs.flight_autodump() {
+            magellan_obs::log!(info, "flight-recorder dump written to {path}");
         }
         snap
     }
@@ -399,6 +410,31 @@ impl ProductionExecutor {
     /// the match set is **bit-identical** to a fault-free run, and a run
     /// killed after a phase resumes to an identical final match set.
     pub fn run_with_recovery(
+        &self,
+        workflow: &EmWorkflow,
+        a: &Table,
+        b: &Table,
+        store: &mut dyn CheckpointStore,
+        opts: &RecoveryOptions,
+    ) -> Result<ProductionReport, MagellanError> {
+        let (obs, _own_guard) = self.obs_handle();
+        obs.set_run_context(opts.faults.seed, self.n_workers as u64);
+        let out = self.run_recovery_inner(workflow, a, b, store, opts);
+        if let Err(e) = &out {
+            // Fatal errors escape the report path, so the flight recorder
+            // dumps here instead of in `finish_obs`.
+            magellan_obs::flight_on_failure(
+                "fatal_error",
+                &[("error", EvVal::S(e.kind_name()))],
+            );
+            if let Some(path) = obs.flight_autodump() {
+                magellan_obs::log!(info, "flight-recorder dump written to {path}");
+            }
+        }
+        out
+    }
+
+    fn run_recovery_inner(
         &self,
         workflow: &EmWorkflow,
         a: &Table,

@@ -218,11 +218,14 @@ impl StreamSession {
         let _span = magellan_obs::span("stream_batch", self.batches);
 
         // 1. Delta join: signed candidate-pair deltas.
+        let delta_span = magellan_obs::span("delta_join", 0);
         let (deltas, stats) = self.engine.apply_batch(batch, &self.tokenizer, &self.par);
+        drop(delta_span);
 
         // 2. Mirror the mutations into the feature store's tables —
         //    insertion order matches the engine's rid assignment, so row
         //    ids line up by construction.
+        let mirror_span = magellan_obs::span("mirror_mutations", 0);
         for op in batch {
             match op {
                 RecordMutation::Insert { side, text } => {
@@ -251,8 +254,10 @@ impl StreamSession {
         }
         debug_assert_eq!(self.store.tables().0.nrows(), self.engine.n_records(Side::Left));
         debug_assert_eq!(self.store.tables().1.nrows(), self.engine.n_records(Side::Right));
+        drop(mirror_span);
 
         // 3. Patch the candidate set and retire dead scores.
+        let patch_span = magellan_obs::span("patch_candidates", 0);
         let applied = self.candidates.apply_deltas(&deltas);
         let mut dirty: Vec<(usize, usize)> = Vec::new();
         for d in &deltas {
@@ -263,8 +268,10 @@ impl StreamSession {
                 PairDelta::Added(p) => dirty.push((p.l, p.r)),
             }
         }
+        drop(patch_span);
 
         // 4. Featurize + rescore exactly the dirty pairs.
+        let rescore_span = magellan_obs::span("rescore_dirty", 0);
         if !dirty.is_empty() {
             let pairs_u32: Vec<(u32, u32)> =
                 dirty.iter().map(|&(l, r)| (l as u32, r as u32)).collect();
@@ -281,6 +288,7 @@ impl StreamSession {
                 self.scores.insert((l, r), p);
             }
         }
+        drop(rescore_span);
 
         let report = StreamBatchReport {
             batch: self.batches,

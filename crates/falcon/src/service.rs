@@ -1454,13 +1454,31 @@ impl MatchService {
                 &format!("magellan_service_fragment_latency_p99_ms{{tenant=\"{tenant}\"}}"),
                 rep.frag_p99_ms as f64,
             );
+            let slo_ok = rep.slo_ok(cfg.slo_p99_ms);
             magellan_obs::gauge_set(
                 &format!("magellan_service_slo_ok{{tenant=\"{tenant}\"}}"),
-                if rep.slo_ok(cfg.slo_p99_ms) { 1.0 } else { 0.0 },
+                if slo_ok { 1.0 } else { 0.0 },
             );
+            if !slo_ok {
+                // An SLO violation is a flight-recorder trigger: the dump
+                // (written below, at end of scheduling, so its content is
+                // a pure function of the final canonical snapshot) shows
+                // which tenants blew their p99 and by how much.
+                magellan_obs::flight_on_failure(
+                    "slo_violation",
+                    &[
+                        ("tenant_idx", magellan_obs::EvVal::U(i as u64)),
+                        ("p99_ms", magellan_obs::EvVal::U(rep.frag_p99_ms)),
+                        ("slo_p99_ms", magellan_obs::EvVal::U(cfg.slo_p99_ms)),
+                    ],
+                );
+            }
         }
         magellan_obs::gauge_set("magellan_service_makespan_seconds", makespan);
         tel.publish();
+        if let Some(path) = magellan_obs::flight_autodump() {
+            magellan_obs::log!(info, "flight-recorder dump written to {path}");
+        }
 
         // `busy` is keyed by the static engine span name, so iteration
         // (and therefore the report) is already deterministic.

@@ -565,6 +565,10 @@ pub fn run_with_retry<T, E: Transience>(
                             ("fatal", magellan_obs::EvVal::U(u64::from(e.fatal()))),
                         ],
                     );
+                    magellan_obs::flight_on_failure(
+                        "retries_exhausted",
+                        &[("attempt", magellan_obs::EvVal::U(u64::from(attempt)))],
+                    );
                     return Err(e);
                 }
                 let delay = policy.delay_s(attempt + 1);

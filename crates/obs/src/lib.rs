@@ -53,18 +53,22 @@
 #![forbid(unsafe_code)]
 
 mod event;
+mod flight;
 mod json;
 mod logging;
 mod metrics;
+mod profile;
 mod snapshot;
 mod span;
 
 pub use event::{EvVal, EventRec};
+pub use flight::{FLIGHT_EVENTS, FLIGHT_FAILURES, FLIGHT_SPANS};
 pub use json::{parse as parse_json, Json};
 pub use logging::{init_bin_logging, log_enabled, log_level, set_log_level, Level};
 #[doc(hidden)]
 pub use logging::__log_emit;
 pub use metrics::{Histogram, MetricValue, N_BUCKETS};
+pub use profile::{ObsProfile, ProfileNode};
 pub use snapshot::ObsSnapshot;
 pub use span::{SpanGuard, SpanRec};
 
@@ -170,6 +174,14 @@ struct Inner {
     event_capacity: usize,
     bufs: Mutex<Vec<Arc<ThreadBuf>>>,
     metrics: Mutex<BTreeMap<String, MetricValue>>,
+    /// Failures noted via [`flight_on_failure`]; a non-zero count makes
+    /// [`flight_autodump`] write the flight-recorder artifact.
+    failures: AtomicUsize,
+    /// Run context for flight-dump artifact keying: `(seed, workers)`.
+    run_seed: AtomicU64,
+    run_workers: AtomicU64,
+    /// Counter values at the previous flight dump, for per-dump deltas.
+    last_dump_counters: Mutex<BTreeMap<String, u64>>,
 }
 
 /// A recorder handle. Cheap to clone (one `Arc`); all clones share the
@@ -202,6 +214,10 @@ impl Obs {
                 event_capacity: DEFAULT_EVENT_CAPACITY,
                 bufs: Mutex::new(Vec::new()),
                 metrics: Mutex::new(BTreeMap::new()),
+                failures: AtomicUsize::new(0),
+                run_seed: AtomicU64::new(0),
+                run_workers: AtomicU64::new(0),
+                last_dump_counters: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -296,9 +312,31 @@ impl Obs {
                 obs: self.clone(),
                 buf,
                 stack: parent.into_iter().collect(),
+                open_res: Vec::new(),
             })
         });
         InstallGuard { obs_id: self.inner.id }
+    }
+
+    /// Record the run context used to key flight-recorder artifacts:
+    /// `{seed}` / `{workers}` placeholders in the `MAGELLAN_FLIGHT_DUMP`
+    /// path are substituted with these values.
+    pub fn set_run_context(&self, seed: u64, workers: u64) {
+        self.inner.run_seed.store(seed, Ordering::Relaxed);
+        self.inner.run_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Note a failure worth a post-mortem. The flight recorder defers the
+    /// actual dump to [`Obs::write_flight_dump`] (normally called at run
+    /// end) so dump content stays a pure function of the canonical
+    /// snapshot rather than of mid-run scheduling state.
+    pub fn note_failure(&self) {
+        self.inner.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of failures noted so far via [`Obs::note_failure`].
+    pub fn failure_count(&self) -> usize {
+        self.inner.failures.load(Ordering::Relaxed)
     }
 
     // ---- metrics ----------------------------------------------------
@@ -320,6 +358,21 @@ impl Obs {
         let mut m = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
         match m.get_mut(name) {
             Some(MetricValue::Gauge(g)) => *g = v,
+            Some(_) => debug_assert!(false, "metric {name} is not a gauge"),
+            None => {
+                m.insert(name.to_owned(), MetricValue::Gauge(v));
+            }
+        }
+    }
+
+    /// Raise the named gauge to `v` if `v` is larger (monotonic
+    /// max-gauge). The primitive behind peak/byte gauges — repeated runs
+    /// in one process report the *high-water mark* instead of clobbering
+    /// each other last-write-wins. NaN never wins.
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        let mut m = self.inner.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m.get_mut(name) {
+            Some(MetricValue::Gauge(g)) => *g = g.max(v),
             Some(_) => debug_assert!(false, "metric {name} is not a gauge"),
             None => {
                 m.insert(name.to_owned(), MetricValue::Gauge(v));
@@ -380,6 +433,10 @@ struct Ctx {
     /// Span-id stack; the bottom entry may be an explicit cross-thread
     /// parent installed via [`Obs::install_under`].
     stack: Vec<u64>,
+    /// Resource attributions `(span_id, kind, bytes)` pending against
+    /// spans still open on this thread; drained into [`SpanRec::res`]
+    /// when the owning guard drops.
+    open_res: Vec<(u64, &'static str, u64)>,
 }
 
 thread_local! {
@@ -466,6 +523,7 @@ pub fn record_span_at(
             start_ns,
             end_ns: end_ns.max(start_ns),
             lane: ctx.buf.lane,
+            res: Vec::new(),
         };
         ctx.buf.push_span(rec, ctx.obs.inner.span_capacity);
         id
@@ -514,6 +572,58 @@ pub fn gauge_set(name: &str, v: f64) {
     }
 }
 
+/// Raise a gauge monotonically on the installed recorder (no-op when
+/// disabled). See [`Obs::gauge_max`].
+pub fn gauge_max(name: &str, v: f64) {
+    if let Some(obs) = current() {
+        obs.gauge_max(name, v);
+    }
+}
+
+/// Attribute `bytes` of resource `kind` (e.g. `"csr_index_bytes"`,
+/// `"shard_index_bytes"`) to the current thread's innermost open span.
+/// Repeated attributions of the same kind sum. No-op when no recorder is
+/// installed or no span is open.
+pub fn span_res_add(kind: &'static str, bytes: u64) {
+    with_ctx(|ctx| {
+        if let Some(&id) = ctx.stack.last() {
+            ctx.open_res.push((id, kind, bytes));
+        }
+    });
+}
+
+/// Record run context (`seed`, `workers`) on the installed recorder for
+/// flight-dump artifact keying. No-op when disabled.
+pub fn set_run_context(seed: u64, workers: u64) {
+    if let Some(obs) = current() {
+        obs.set_run_context(seed, workers);
+    }
+}
+
+/// Note a failure on the installed recorder and emit a canonical
+/// `flight_failure` event carrying `reason` plus the caller's fields.
+/// The flight recorder writes its dump at run end ([`flight_autodump`])
+/// iff at least one failure was noted. No-op when disabled.
+pub fn flight_on_failure(reason: &'static str, fields: &[(&'static str, EvVal)]) {
+    if let Some(obs) = current() {
+        obs.note_failure();
+        let mut all: Vec<(&'static str, EvVal)> = Vec::with_capacity(fields.len() + 1);
+        all.push(("reason", EvVal::S(reason)));
+        all.extend(fields.iter().cloned());
+        event("flight_failure", &all);
+        obs.counter_add("magellan_obs_flight_failures_total", 1);
+    }
+}
+
+/// Write the flight-recorder dump for the installed recorder if any
+/// failure was noted this run and `MAGELLAN_FLIGHT_DUMP` is set.
+/// Call at the end of a run (pipelines call it from their `finish`
+/// path). Returns the path written, if any.
+pub fn flight_autodump() -> Option<String> {
+    let obs = current()?;
+    obs.flight_autodump()
+}
+
 /// Record into a histogram on the installed recorder (no-op when disabled).
 pub fn hist_record(name: &str, v: u64) {
     if let Some(obs) = current() {
@@ -536,6 +646,28 @@ pub fn on_backoff(delay_s: f64) {
 /// environment variable, if set and non-empty.
 pub fn trace_export_path() -> Option<String> {
     match std::env::var("MAGELLAN_TRACE") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// The profile export path requested via the `MAGELLAN_PROFILE`
+/// environment variable, if set and non-empty. A `.json` extension
+/// selects the JSON profile; anything else gets the collapsed-stack
+/// (flamegraph folded) format.
+pub fn profile_export_path() -> Option<String> {
+    match std::env::var("MAGELLAN_PROFILE") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// The flight-dump path template requested via the
+/// `MAGELLAN_FLIGHT_DUMP` environment variable, if set and non-empty.
+/// May contain `{seed}` / `{workers}` placeholders — see
+/// [`Obs::write_flight_dump`].
+pub fn flight_dump_path() -> Option<String> {
+    match std::env::var("MAGELLAN_FLIGHT_DUMP") {
         Ok(p) if !p.is_empty() => Some(p),
         _ => None,
     }
@@ -591,6 +723,49 @@ mod tests {
         assert_eq!(b.snapshot().counter("magellan_obs_inner_total"), 1);
         assert_eq!(a.snapshot().counter("magellan_obs_inner_total"), 0);
         assert_eq!(a.snapshot().counter("magellan_obs_outer_total"), 1);
+    }
+
+    #[test]
+    fn gauge_max_is_monotonic_where_gauge_set_clobbers() {
+        let obs = Obs::pinned();
+        let _g = obs.install();
+        // Two joins publish their peaks; the smaller, later one must not
+        // clobber the high-water mark.
+        gauge_max("magellan_simjoin_shard_peak_index_bytes", 4096.0);
+        gauge_max("magellan_simjoin_shard_peak_index_bytes", 512.0);
+        assert_eq!(
+            obs.snapshot().gauge("magellan_simjoin_shard_peak_index_bytes"),
+            4096.0
+        );
+        gauge_max("magellan_simjoin_shard_peak_index_bytes", 8192.0);
+        gauge_max("magellan_simjoin_shard_peak_index_bytes", f64::NAN);
+        assert_eq!(
+            obs.snapshot().gauge("magellan_simjoin_shard_peak_index_bytes"),
+            8192.0,
+            "NaN never wins"
+        );
+        // Contrast: gauge_set stays last-write-wins.
+        gauge_set("magellan_obs_lww", 10.0);
+        gauge_set("magellan_obs_lww", 1.0);
+        assert_eq!(obs.snapshot().gauge("magellan_obs_lww"), 1.0);
+    }
+
+    #[test]
+    fn span_res_attribution_sums_per_kind_and_sorts() {
+        let obs = Obs::pinned();
+        let _g = obs.install();
+        {
+            let _s = span("shard_build", 0);
+            span_res_add("shard_index_bytes", 100);
+            span_res_add("csr_index_bytes", 7);
+            span_res_add("shard_index_bytes", 28);
+        }
+        span_res_add("orphan_bytes", 1); // no open span: dropped
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.spans[0].res,
+            vec![("csr_index_bytes", 7), ("shard_index_bytes", 128)]
+        );
     }
 
     #[test]

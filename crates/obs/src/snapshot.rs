@@ -360,7 +360,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -380,7 +380,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_val(v: &EvVal) -> String {
+pub(crate) fn json_val(v: &EvVal) -> String {
     match v {
         EvVal::U(u) => format!("{u}"),
         EvVal::F(f) if f.is_finite() => format!("{f}"),
@@ -403,6 +403,7 @@ mod tests {
             start_ns: t0,
             end_ns: t1,
             lane,
+            res: Vec::new(),
         }
     }
 

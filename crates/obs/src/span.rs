@@ -27,6 +27,11 @@ pub struct SpanRec {
     /// Buffer lane (thread-registration order); scheduling-dependent, so
     /// it never participates in canonical ordering or pinned exports.
     pub lane: u32,
+    /// Resource attribution attached while the span was open via
+    /// [`crate::span_res_add`] — `(kind, bytes)` sorted by kind, one
+    /// entry per kind (repeated attributions of a kind sum). Empty for
+    /// the vast majority of spans (and allocation-free when empty).
+    pub res: Vec<(&'static str, u64)>,
 }
 
 struct Open {
@@ -80,6 +85,22 @@ impl Drop for SpanGuard {
                 if let Some(pos) = ctx.stack.iter().rposition(|&id| id == o.id) {
                     ctx.stack.truncate(pos);
                 }
+                // Claim the resource attributions recorded against this
+                // span while it was open; entries for spans no longer on
+                // the stack (leaked scopes truncated above) are dropped.
+                let mut res: Vec<(&'static str, u64)> = Vec::new();
+                let stack = &ctx.stack;
+                ctx.open_res.retain(|&(id, kind, bytes)| {
+                    if id != o.id {
+                        return stack.contains(&id);
+                    }
+                    match res.iter_mut().find(|(k, _)| *k == kind) {
+                        Some((_, b)) => *b = b.saturating_add(bytes),
+                        None => res.push((kind, bytes)),
+                    }
+                    false
+                });
+                res.sort_unstable_by_key(|&(k, _)| k);
                 let end_ns = ctx.now_ns().max(o.start_ns);
                 let rec = SpanRec {
                     id: o.id,
@@ -89,6 +110,7 @@ impl Drop for SpanGuard {
                     start_ns: o.start_ns,
                     end_ns,
                     lane: ctx.buf.lane,
+                    res,
                 };
                 ctx.buf.push_span(rec, ctx.obs.inner.span_capacity);
             });

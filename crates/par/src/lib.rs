@@ -661,6 +661,14 @@ where
                                 ("attempt", EvVal::U(u64::from(attempt))),
                             ],
                         );
+                        magellan_obs::flight_on_failure(
+                            "panic_contained",
+                            &[
+                                ("chunk", EvVal::U(c as u64)),
+                                ("attempt", EvVal::U(u64::from(attempt))),
+                                ("injected", EvVal::U(u64::from(injected))),
+                            ],
+                        );
                         if attempt >= cfg.chunk_retries {
                             break false;
                         }

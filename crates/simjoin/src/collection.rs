@@ -57,6 +57,7 @@ impl TokenizedCollection {
         tokenizer: &dyn Tokenizer,
         interner: &mut TokenInterner,
     ) -> Self {
+        let _span = magellan_obs::span("tokenize_collection", 0);
         // Tokenize once per record into sorted deduped interner-id sets.
         let tokenize_side = |side: &[Option<S>], interner: &mut TokenInterner| {
             side.iter()
@@ -99,6 +100,11 @@ impl TokenizedCollection {
                 })
                 .collect()
         };
+        magellan_obs::span_res_add("interner_vocab_bytes", interner.vocab_bytes() as u64);
+        magellan_obs::gauge_max(
+            "magellan_textsim_interner_vocab_bytes",
+            interner.vocab_bytes() as f64,
+        );
         TokenizedCollection {
             left: map_side(&lrecs),
             right: map_side(&rrecs),

@@ -561,16 +561,29 @@ impl IncrementalJoin {
         // Phase 4: compaction check. Compaction is a pure layout event —
         // it happens after the deltas are computed and changes nothing
         // observable except generation counters and probe cost.
-        for (state, index) in [
+        for (side, (state, index)) in [
             (&self.left, &mut self.left_index),
             (&self.right, &mut self.right_index),
-        ] {
+        ]
+        .into_iter()
+        .enumerate()
+        {
             let tail_outgrew =
                 index.n_tail_postings > TAIL_COMPACT_FLOOR && index.n_tail_postings > index.csr.n_postings();
             if index.dead_fraction() > self.compaction_threshold || tail_outgrew {
+                let span = magellan_obs::span("compaction", side as u64);
                 let t0 = Instant::now();
                 index.compact(state, measure);
-                self.compaction_pauses.push(t0.elapsed());
+                let pause = t0.elapsed();
+                magellan_obs::span_res_add("csr_index_bytes", index.csr.index_bytes() as u64);
+                drop(span);
+                if !magellan_obs::current().is_some_and(|o| o.is_pinned()) {
+                    magellan_obs::hist_record(
+                        "magellan_simjoin_compaction_pause_us",
+                        pause.as_micros() as u64,
+                    );
+                }
+                self.compaction_pauses.push(pause);
                 stats.compactions += 1;
             }
         }

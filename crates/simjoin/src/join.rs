@@ -306,6 +306,7 @@ pub fn join_tokenized_stats(
     measure.validate();
     let plan = ProbePlan::choose(coll, side);
     let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
+    magellan_obs::span_res_add("csr_index_bytes", index.index_bytes() as u64);
     let stamp_base = PROBE_STAMPS.fetch_add(plan.probe.len() as u64, Ordering::Relaxed);
     let mut out = Vec::new();
     let mut stats = JoinStats::default();
@@ -510,6 +511,7 @@ pub fn join_tokenized_par_side(
     measure.validate();
     let plan = ProbePlan::choose(coll, side);
     let index = PrefixIndex::build(plan.indexed, |s| measure.prefix_len(s));
+    magellan_obs::span_res_add("csr_index_bytes", index.index_bytes() as u64);
     let stamp_base = PROBE_STAMPS.fetch_add(plan.probe.len() as u64, Ordering::Relaxed);
     let (chunks, mut stats) = magellan_par::chunk_map(plan.probe.len(), cfg, |range| {
         // Reuse the worker's thread-local scratch: stamps make stale
@@ -518,6 +520,9 @@ pub fn join_tokenized_par_side(
         PROBE_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             scratch.ensure(plan.indexed.len());
+            // Nested under the pool's `chunk` span: kernel dispatch and
+            // verification merges are this scope's self-time in profiles.
+            let _verify = magellan_obs::span("verify", range.start as u64);
             let mut out = Vec::new();
             let mut js = JoinStats::default();
             for p in range {

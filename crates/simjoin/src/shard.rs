@@ -54,15 +54,17 @@ impl ShardStats {
     /// function of the join inputs and `K`.
     pub fn publish(&self) {
         magellan_obs::gauge_set("magellan_simjoin_shards", self.n_shards as f64);
-        magellan_obs::gauge_set(
+        // Byte gauges are *peaks*: repeated joins on one recorder keep the
+        // high-water mark instead of clobbering it last-write-wins.
+        magellan_obs::gauge_max(
             "magellan_simjoin_shard_peak_index_bytes",
             self.peak_index_bytes as f64,
         );
-        magellan_obs::gauge_set(
+        magellan_obs::gauge_max(
             "magellan_simjoin_shard_total_index_bytes",
             self.total_index_bytes as f64,
         );
-        magellan_obs::gauge_set(
+        magellan_obs::gauge_max(
             "magellan_simjoin_monolithic_index_bytes",
             self.monolithic_index_bytes as f64,
         );
@@ -194,11 +196,15 @@ pub fn join_tokenized_sharded(
     for (s, rids) in shard_rids.iter().enumerate() {
         // Materialize the shard's records under local rids 0..m and
         // build its index — the only index alive at this point.
+        let build_span = magellan_obs::span("shard_build", s as u64);
         let local: Vec<Vec<u32>> = rids.iter().map(|&r| plan.indexed[r as usize].clone()).collect();
         let index = PrefixIndex::build(&local, |sz| measure.prefix_len(sz));
         let bytes = index.index_bytes();
+        magellan_obs::span_res_add("shard_index_bytes", bytes as u64);
+        drop(build_span);
         shard_stats.peak_index_bytes = shard_stats.peak_index_bytes.max(bytes);
         shard_stats.total_index_bytes += bytes;
+        let probe_span = magellan_obs::span("shard_probe", s as u64);
 
         // Give each shard its own chunk-fault region so seeded chaos
         // draws independent faults per shard.
@@ -210,6 +216,7 @@ pub fn join_tokenized_sharded(
             PROBE_SCRATCH.with(|cell| {
                 let mut scratch = cell.borrow_mut();
                 scratch.ensure(local.len());
+                let _verify = magellan_obs::span("verify", range.start as u64);
                 let mut pairs = Vec::new();
                 let mut stats = JoinStats::default();
                 for p in range {
@@ -242,6 +249,14 @@ pub fn join_tokenized_sharded(
             js.merge(&chunk_js);
         }
         par.merge(&pstats);
+        drop(probe_span);
+        // The shard's index dies here — the next shard's build is the
+        // only index alive again. A span marks the teardown so peak
+        // residency windows are visible in the profile.
+        let drop_span = magellan_obs::span("shard_drop", s as u64);
+        drop(index);
+        drop(local);
+        drop(drop_span);
     }
 
     out.sort_unstable_by_key(|a| (a.l, a.r));

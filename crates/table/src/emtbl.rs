@@ -358,8 +358,11 @@ impl MappedTable {
 
     /// Open an `emtbl` file with an explicit backing mode.
     pub fn open_with(path: impl AsRef<Path>, mode: OpenMode) -> Result<MappedTable> {
+        let _span = magellan_obs::span("emtbl_open", 0);
         let mut file = File::open(path)?;
         let len = file.metadata()?.len() as usize;
+        magellan_obs::span_res_add("emtbl_bytes", len as u64);
+        magellan_obs::gauge_max("magellan_table_emtbl_mapped_bytes", len as f64);
         #[cfg(unix)]
         let (buf, mode_name) = match mode {
             OpenMode::Auto => match sys::Mmap::map(&file, len) {
@@ -584,6 +587,7 @@ impl MappedTable {
     /// path for APIs that need `&Column`; hot paths use
     /// [`MappedTable::column_slice`] instead).
     pub fn materialize_column(&self, col: usize) -> Column {
+        let _span = magellan_obs::span("emtbl_scan", col as u64);
         let slice = self.column_slice(col);
         let mut out = Column::with_capacity(self.cols[col].dtype, self.nrows);
         let name = &self.schema.field(col).name;

@@ -75,6 +75,18 @@ impl TokenInterner {
         self.tokens.is_empty()
     }
 
+    /// Approximate resident bytes of the vocabulary: every token string
+    /// is stored twice (map key + id table) plus fixed per-entry
+    /// overheads. Deterministic — a pure function of the interned
+    /// strings, never of capacity growth — so it is safe to publish as a
+    /// pinned-export resource attribution.
+    pub fn vocab_bytes(&self) -> usize {
+        let text: usize = self.tokens.iter().map(String::len).sum();
+        let per_entry =
+            2 * std::mem::size_of::<String>() + std::mem::size_of::<u32>();
+        2 * text + self.tokens.len() * per_entry
+    }
+
     /// Intern a token bag into its **sorted, deduplicated** id set — the
     /// representation every `*_ids` kernel below consumes.
     pub fn intern_set<S: AsRef<str>>(&mut self, tokens: &[S]) -> Vec<u32> {
